@@ -1,0 +1,15 @@
+"""Substrate ablation: DRAM address interleaving scheme."""
+
+from conftest import run_and_report
+
+
+def test_ablation_addrmap(benchmark):
+    result = run_and_report(benchmark, "ablation_addrmap")
+    # Row interleaving must give the streaming benchmark a much higher
+    # row-buffer hit rate than bank interleaving does; bank-level
+    # parallelism may compensate in throughput, which is the point of
+    # recording both.
+    assert result.summary["libquantum_row_rowhit"] \
+        > result.summary["libquantum_bank_rowhit"] + 0.1
+    assert result.summary["mcf_row_rowhit"] \
+        >= result.summary["mcf_bank_rowhit"]

@@ -1,0 +1,10 @@
+"""Ablation: bin interval length L."""
+
+from conftest import run_and_report
+
+
+def test_ablation_bin_length(benchmark):
+    result = run_and_report(benchmark, "ablation_bin_length")
+    # Larger L stretches the same credits over a longer period: for a
+    # memory-intensive program this costs throughput.
+    assert result.summary["work_L40"] < result.summary["work_L5"]

@@ -1,0 +1,13 @@
+"""Extension: congestion feedback to the MITTS units (Section III-C)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_congestion(benchmark):
+    result = run_and_report(benchmark, "ablation_congestion")
+    # Feedback must reduce the memory system's own delay (and queueing),
+    # trading some throughput for smoothness.
+    assert result.summary["latency_feedback_on"] \
+        <= result.summary["latency_feedback_off"]
+    assert result.summary["peak_queue_on"] \
+        <= result.summary["peak_queue_off"]

@@ -1,0 +1,11 @@
+"""Substrate ablation: results under the instruction-window core model."""
+
+from conftest import run_and_report
+
+
+def test_ablation_core_model(benchmark):
+    result = run_and_report(benchmark, "ablation_core_model")
+    # MITTS must not lose to the best conventional scheduler under
+    # either core model (>= parity at smoke-scale GA budgets).
+    assert result.summary["simple_mitts_gain"] > 0.97
+    assert result.summary["window_mitts_gain"] > 0.97

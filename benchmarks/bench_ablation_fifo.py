@@ -1,0 +1,10 @@
+"""Ablation: memory-controller transaction-queue depth (Section III-C)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_fifo(benchmark):
+    result = run_and_report(benchmark, "ablation_fifo")
+    # A too-small window costs throughput relative to the 32-entry one.
+    assert result.summary["savg_depth_8"] \
+        >= result.summary["savg_depth_32"] * 0.98

@@ -1,0 +1,10 @@
+"""Ablation: hybrid accounting method 1 (timestamp) vs method 2."""
+
+from conftest import run_and_report
+
+
+def test_ablation_methods(benchmark):
+    result = run_and_report(benchmark, "ablation_methods")
+    # The two methods must agree closely; method 1 is slightly aggressive.
+    ratio = result.summary["method1_savg"] / result.summary["method2_savg"]
+    assert 0.9 < ratio < 1.1

@@ -1,0 +1,10 @@
+"""Ablation: GA vs hill climbing vs random search (Section IV-B)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_optimizer(benchmark):
+    result = run_and_report(benchmark, "ablation_optimizer")
+    # The GA should not lose to hill climbing at equal budget.
+    assert result.summary["ga_fitness"] \
+        >= result.summary["hill_fitness"] - 0.05

@@ -1,0 +1,11 @@
+"""Section III-F: profiling-based configuration vs the GA."""
+
+from conftest import run_and_report
+
+
+def test_ablation_profiling(benchmark):
+    result = run_and_report(benchmark, "ablation_profiling")
+    # One profiling run lands within about half of the GA's searched
+    # perf/cost optimum (the GA trims headroom profiling keeps).
+    for key, ratio in result.summary.items():
+        assert ratio > 0.4, key

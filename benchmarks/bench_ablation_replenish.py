@@ -1,0 +1,10 @@
+"""Ablation: reset (Algorithm 1) vs rate-drip replenishment."""
+
+from conftest import run_and_report
+
+
+def test_ablation_replenish(benchmark):
+    result = run_and_report(benchmark, "ablation_replenish")
+    # Reset preserves burst capacity on a bursty program.
+    assert result.summary["reset_work"] \
+        >= 0.95 * result.summary["drip_work"]

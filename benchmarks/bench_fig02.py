@@ -1,0 +1,11 @@
+"""Figure 2: intrinsic inter-arrival distributions under two LLC sizes."""
+
+from conftest import run_and_report
+
+
+def test_fig02_distributions(benchmark):
+    result = run_and_report(benchmark, "fig02")
+    # Paper: a larger LLC reduces the number of memory requests.
+    for key, value in result.summary.items():
+        if key.endswith("request_ratio_large_over_small"):
+            assert value < 1.0

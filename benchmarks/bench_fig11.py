@@ -1,0 +1,10 @@
+"""Figure 11: MITTS vs static bandwidth provisioning (per benchmark)."""
+
+from conftest import run_and_report
+
+
+def test_fig11_static_comparison(benchmark):
+    result = run_and_report(benchmark, "fig11")
+    # Paper: GeoMean 1.18x offline; online GA slightly worse but > 1.
+    assert result.summary["geomean_offline_gain"] > 1.0
+    assert result.summary["geomean_online_gain"] > 0.9

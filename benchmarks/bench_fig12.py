@@ -1,0 +1,11 @@
+"""Figure 12: four-program throughput/fairness vs conventional schedulers."""
+
+from conftest import run_and_report
+
+
+def test_fig12_four_program(benchmark):
+    result = run_and_report(benchmark, "fig12")
+    # Paper: MITTS beats the best conventional scheduler on most mixes.
+    gains = [value for key, value in result.summary.items()
+             if key.endswith("_gain")]
+    assert sum(1 for g in gains if g > 1.0) >= len(gains) // 2

@@ -1,0 +1,8 @@
+"""Figure 13: eight-program throughput/fairness vs conventional schedulers."""
+
+from conftest import run_and_report
+
+
+def test_fig13_eight_program(benchmark):
+    result = run_and_report(benchmark, "fig13")
+    assert result.summary["wl4_fairness_gain"] > 1.0

@@ -1,0 +1,11 @@
+"""Figure 14: MISE vs MITTS vs the MISE+MITTS hybrid."""
+
+from conftest import run_and_report
+
+
+def test_fig14_hybrid(benchmark):
+    result = run_and_report(benchmark, "fig14")
+    # Paper: the hybrid adds a few percent over MITTS alone; at smoke
+    # scale we accept parity within noise.
+    assert result.summary["hybrid_fairness_gain_vs_mitts"] > 0.9
+    assert result.summary["hybrid_throughput_gain_vs_mitts"] > 0.9

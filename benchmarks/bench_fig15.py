@@ -1,0 +1,9 @@
+"""Figure 15: the comparison repeated with a large LLC."""
+
+from conftest import run_and_report
+
+
+def test_fig15_large_llc(benchmark):
+    result = run_and_report(benchmark, "fig15")
+    # Paper: MITTS still wins with a large LLC, by smaller margins.
+    assert result.summary["wl1_fairness_gain"] > 1.0

@@ -1,0 +1,9 @@
+"""Figure 16: bandwidth isolation vs static even/heterogeneous splits."""
+
+from conftest import run_and_report
+
+
+def test_fig16_isolation(benchmark):
+    result = run_and_report(benchmark, "fig16")
+    assert result.summary["throughput_gain_vs_even"] > 0.95
+    assert result.summary["fairness_gain_vs_even"] > 1.0

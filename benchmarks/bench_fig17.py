@@ -1,0 +1,12 @@
+"""Figure 17: optimal per-application bin configurations for perf/cost."""
+
+from conftest import run_and_report
+
+
+def test_fig17_bin_configs(benchmark):
+    result = run_and_report(benchmark, "fig17")
+    # Paper: memory-intensive mcf buys far more credits than sjeng.
+    assert result.summary["mcf_total_credits"] \
+        > result.summary["sjeng_total_credits"]
+    assert result.summary["mcf_fast_credits"] \
+        >= result.summary["sjeng_fast_credits"]

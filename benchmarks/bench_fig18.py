@@ -1,0 +1,11 @@
+"""Figure 18: perf/cost gain over optimal static provisioning."""
+
+from conftest import run_and_report
+
+
+def test_fig18_perf_cost(benchmark):
+    result = run_and_report(benchmark, "fig18")
+    # Paper: GeoMean 2.69x; the scaled substrate compresses the magnitude
+    # but MITTS must never lose to its own seeded static baseline.
+    assert result.summary["geomean_gain"] >= 1.0
+    assert result.summary["max_gain"] > 1.0

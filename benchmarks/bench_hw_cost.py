@@ -1,0 +1,10 @@
+"""Section III-E: MITTS hardware cost table."""
+
+from conftest import run_and_report
+
+
+def test_hw_cost(benchmark):
+    result = run_and_report(benchmark, "hw_cost")
+    assert abs(result.summary["default_area_mm2"]
+               - result.summary["published_area_mm2"]) < 1e-6
+    assert result.summary["default_core_fraction"] <= 0.009 + 1e-9

@@ -1,0 +1,11 @@
+"""Section IV-I: sensitivity to the number of credit bins."""
+
+from conftest import run_and_report
+
+
+def test_sec4i_bin_count(benchmark):
+    result = run_and_report(benchmark, "sec4i")
+    # Paper: more bins help with diminishing returns; at smoke scale we
+    # check 10 bins is at least as good as 4.
+    rows = {bins: savg for bins, savg in result.rows}
+    assert rows[10] <= rows[4] * 1.05

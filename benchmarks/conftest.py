@@ -1,0 +1,34 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures at
+the ``smoke`` scale (override with ``REPRO_SCALE=small|paper``) and prints
+the same rows/series the paper reports.  pytest-benchmark measures the
+harness runtime; the scientific output is the printed table, which is why
+running with ``-s`` (or reading the captured output) matters more than
+the timing statistics.
+"""
+
+import os
+
+import pytest
+
+
+SCALE = os.environ.get("REPRO_SCALE", "smoke")
+SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+
+def run_and_report(benchmark, experiment_name):
+    """Run one registered experiment under pytest-benchmark and print it."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_name, scale=SCALE, seed=SEED),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def scale():
+    return SCALE

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bandwidth isolation: protecting a latency-critical tenant.
+
+A real-time-ish service (astar: low MLP, latency-sensitive) is co-located
+with two aggressive memory hogs (libquantum, mcf).  Without source
+control, the hogs destroy its performance.  MITTS shapers cap the hogs'
+distributions -- bursts allowed, sustained rate limited -- restoring most
+of the victim's standalone performance while costing the hogs little
+(Section IV-F's isolation argument).
+
+Usage::
+
+    python examples/bandwidth_isolation.py
+"""
+
+from repro import BinConfig, MittsShaper, NoLimiter, SimSystem, trace_for
+from repro.sim import SCALED_MULTI_CONFIG
+
+CYCLES = 120_000
+PROGRAMS = ("astar", "libquantum", "mcf")
+
+
+def run(label, limiters):
+    traces = [trace_for(name, seed=i + 1)
+              for i, name in enumerate(PROGRAMS)]
+    system = SimSystem(traces, config=SCALED_MULTI_CONFIG,
+                       limiters=limiters)
+    stats = system.run(CYCLES)
+    work = [core.work_cycles for core in stats.cores]
+    lat = [core.average_latency for core in stats.cores]
+    print(f"{label:22s} " + "  ".join(
+        f"{name}: work={w:6d} lat={l:5.0f}"
+        for name, w, l in zip(PROGRAMS, work, lat)))
+    return work
+
+
+def main():
+    print(f"co-running {', '.join(PROGRAMS)} for {CYCLES:,} cycles\n")
+
+    # Standalone reference for the victim.
+    solo = SimSystem([trace_for("astar", seed=1)],
+                     config=SCALED_MULTI_CONFIG)
+    solo_work = solo.run(CYCLES).cores[0].work_cycles
+    print(f"astar alone: work={solo_work}\n")
+
+    unshaped = run("unshaped", None)
+
+    # Cap each hog: a few burst credits up front, bulk pushed into the
+    # slow tail so the sustained rate is genuinely limited.
+    hog_config = BinConfig.from_credits([4, 1, 1, 0, 0, 0, 0, 0, 0, 12])
+    shaped = run("hogs shaped by MITTS", [
+        NoLimiter(),
+        MittsShaper(hog_config),
+        MittsShaper(hog_config),
+    ])
+
+    recovered = (shaped[0] - unshaped[0]) / max(1, solo_work - unshaped[0])
+    print(f"\nvictim work: alone={solo_work}, shared={unshaped[0]}, "
+          f"shaped={shaped[0]}")
+    print(f"MITTS recovered {100 * recovered:.0f}% of the interference "
+          f"loss at a bounded cost to the hogs.")
+
+
+if __name__ == "__main__":
+    main()

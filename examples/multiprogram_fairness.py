@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Multi-program fairness: MITTS vs conventional memory schedulers.
+
+Runs the paper's workload 1 (gcc, libquantum, bzip, mcf) under each
+conventional scheduler and under MITTS with GA-optimised per-core bin
+configurations, reporting the Section IV-D metrics: average slowdown
+(S_avg, throughput) and maximum slowdown (S_max, fairness).
+
+Usage::
+
+    python examples/multiprogram_fairness.py
+"""
+
+from repro.experiments.common import (SCALED_MULTI_CONFIG,
+                                      conventional_schedulers, get_scale,
+                                      measure_alone, optimize_mitts,
+                                      run_scheduler, slowdowns_against)
+from repro.workloads import workload_names, workload_traces
+
+WORKLOAD = 1
+CYCLES = 100_000
+
+
+def main():
+    names = workload_names(WORKLOAD)
+    print(f"workload {WORKLOAD}: {', '.join(names)}")
+    traces = workload_traces(WORKLOAD)
+    alone = measure_alone(traces, SCALED_MULTI_CONFIG, CYCLES)
+    print("alone work per program:",
+          [int(w) for w in alone])
+
+    print(f"\n{'policy':16s} {'S_avg':>7s} {'S_max':>7s}   per-program")
+    for name in conventional_schedulers():
+        stats = run_scheduler(name, traces, SCALED_MULTI_CONFIG, CYCLES)
+        slowdowns = slowdowns_against(alone, stats)
+        print(f"{name:16s} {sum(slowdowns) / len(slowdowns):7.3f} "
+              f"{max(slowdowns):7.3f}   "
+              f"{[round(s, 2) for s in slowdowns]}")
+
+    scale = get_scale("smoke")
+    for label, objective in (("MITTS (throughput)", "throughput"),
+                             ("MITTS (fairness)", "fairness")):
+        ga_result, evaluator = optimize_mitts(
+            traces, SCALED_MULTI_CONFIG, CYCLES, objective, scale,
+            alone_work=alone)
+        stats = evaluator.run_genome(ga_result.best_genome)
+        slowdowns = slowdowns_against(alone, stats)
+        print(f"{label:16s} {sum(slowdowns) / len(slowdowns):7.3f} "
+              f"{max(slowdowns):7.3f}   "
+              f"{[round(s, 2) for s in slowdowns]}")
+        for program, config in zip(names, ga_result.best_genome):
+            print(f"    {program:12s} credits {config.as_list()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: shape one program's memory traffic with MITTS.
+
+Runs mcf unshaped, under a crude static rate limiter, and under a MITTS
+shaper with the same average bandwidth but a distribution that admits
+bursts -- the core idea of the paper in ~60 lines.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import BinConfig, MittsShaper, SimSystem, StaticLimiter, trace_for
+from repro.metrics import InterarrivalDistribution
+from repro.sim import SCALED_SINGLE_CONFIG
+
+
+CYCLES = 100_000
+
+
+def run(label, limiter):
+    system = SimSystem([trace_for("mcf")], config=SCALED_SINGLE_CONFIG,
+                       limiters=[limiter] if limiter else None)
+    stats = system.run(CYCLES)
+    core = stats.cores[0]
+    print(f"{label:28s} work={core.work_cycles:7d}  "
+          f"dram requests={core.dram_requests:5d}  "
+          f"shaper stalls={core.shaper_stall_cycles:7d}")
+    return stats
+
+
+def main():
+    print(f"mcf for {CYCLES:,} cycles on the scaled single-program system\n")
+
+    run("unshaped", None)
+
+    # A static limiter: one request per 40 cycles, no burst tolerance.
+    run("static limiter (1/40 cyc)", StaticLimiter(40))
+
+    # MITTS at the same average bandwidth (I_avg = 40 cycles) but with
+    # fast-bin credits that let mcf's bursts through.
+    config = BinConfig.from_credits([14, 4, 2, 1, 1, 1, 1, 1, 1, 3])
+    print(f"\nMITTS config: credits={config.as_list()}  "
+          f"I_avg={config.average_interval():.1f} cycles  "
+          f"T_r={config.replenish_period()} cycles")
+    stats = run("MITTS (same avg bandwidth)", MittsShaper(config))
+
+    dist = InterarrivalDistribution.from_core_stats(stats.cores[0])
+    print(f"\nshaped memory-request inter-arrival: mean="
+          f"{dist.mean():.1f} cycles, burstiness={dist.burstiness():.2f}")
+    print("\nThe distribution-based shaper admits the bursts the static")
+    print("limiter delays, at the same long-run bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""MITTS: Memory Inter-arrival Time Traffic Shaping -- ISCA 2016 reproduction.
+
+A full-system Python reproduction of Zhou & Wentzlaff's MITTS: the
+bin-based inter-arrival-time traffic shaper, the multicore/DRAM simulation
+substrate it is evaluated on, the comparator memory schedulers, the
+offline/online genetic-algorithm tuners, and the IaaS economics layer.
+
+Quickstart::
+
+    from repro import BinConfig, MittsShaper, SimSystem, trace_for
+
+    shaper = MittsShaper(BinConfig.from_credits([8, 6, 4, 4, 2, 2, 1, 1, 1, 1]))
+    system = SimSystem([trace_for("mcf")], limiters=[shaper])
+    stats = system.run(100_000)
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+from .core import (BinConfig, BinSpec, CreditState, MittsAreaModel,
+                   MittsShaper, NoLimiter, RateReplenisher, ResetReplenisher,
+                   SourceLimiter, StaticLimiter, TokenBucketLimiter)
+from .metrics import (InterarrivalDistribution, average_slowdown,
+                      geometric_mean, max_slowdown, slowdowns_from_rates)
+from .sim import (Engine, MemoryRequest, SimSystem, SystemConfig,
+                  SystemStats)
+from .tuning import (FitnessEvaluator, GaParams, GeneticAlgorithm,
+                     OnlineGaTuner)
+from .workloads import (SyntheticTrace, available_benchmarks, trace_for,
+                        workload_names, workload_traces)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinConfig",
+    "BinSpec",
+    "CreditState",
+    "Engine",
+    "FitnessEvaluator",
+    "GaParams",
+    "GeneticAlgorithm",
+    "InterarrivalDistribution",
+    "MemoryRequest",
+    "MittsAreaModel",
+    "MittsShaper",
+    "NoLimiter",
+    "OnlineGaTuner",
+    "RateReplenisher",
+    "ResetReplenisher",
+    "SimSystem",
+    "SourceLimiter",
+    "StaticLimiter",
+    "SyntheticTrace",
+    "SystemConfig",
+    "SystemStats",
+    "TokenBucketLimiter",
+    "available_benchmarks",
+    "average_slowdown",
+    "geometric_mean",
+    "max_slowdown",
+    "slowdowns_from_rates",
+    "trace_for",
+    "workload_names",
+    "workload_traces",
+    "__version__",
+]

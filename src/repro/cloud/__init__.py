@@ -1,0 +1,33 @@
+"""IaaS economics: customers, bin-credit market, provisioning strategies."""
+
+from .autoscale import AutoScaler, ScheduleRule, TriggerRule
+from .customer import Customer, deadline_utility, linear_utility
+from .market import Bid, CreditMarket, MarketOutcome, demand_to_bids
+from .vm import (MittsRegisterState, VirtualMachine, build_vm_system,
+                 vm_core_ranges, vm_work)
+from .provision import (best_static_config, even_split_configs,
+                        heterogeneous_static_configs, perf_per_cost,
+                        run_with_configs)
+
+__all__ = [
+    "AutoScaler",
+    "Bid",
+    "CreditMarket",
+    "Customer",
+    "MarketOutcome",
+    "ScheduleRule",
+    "TriggerRule",
+    "MittsRegisterState",
+    "VirtualMachine",
+    "best_static_config",
+    "build_vm_system",
+    "deadline_utility",
+    "demand_to_bids",
+    "even_split_configs",
+    "heterogeneous_static_configs",
+    "linear_utility",
+    "perf_per_cost",
+    "run_with_configs",
+    "vm_core_ranges",
+    "vm_work",
+]

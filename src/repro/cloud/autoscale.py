@@ -1,0 +1,176 @@
+"""Schedule- and rule-based bin auto-scaling (Section III-F).
+
+The paper sketches the Cloud-side control plane: "Schedule-based
+auto-scaling allows users to change bin configuration at a given time,
+such as 'add n credits to bin m between 8AM to 6PM each day'.  Rule-based
+mechanisms allow users to define triggers by specifying bin
+reconfiguration thresholds and actions, such as 'run Genetic Algorithm to
+reconfigure bins when the application's objective function is below a
+threshold value'."
+
+This module implements both:
+
+* :class:`ScheduleRule` -- between ``start`` and ``end`` (cycles, standing
+  in for wall-clock hours), apply a credit delta to one bin;
+* :class:`TriggerRule` -- when a per-epoch metric crosses a threshold,
+  fire an action (a config transform, or an arbitrary callback such as
+  kicking the online GA);
+* :class:`AutoScaler` -- evaluates the rules each epoch against a live
+  system and rewrites the target core's shaper configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.bins import BinConfig
+from ..core.shaper import MittsShaper
+from ..sim.system import SimSystem
+
+
+@dataclass(frozen=True)
+class ScheduleRule:
+    """'Add ``delta`` credits to ``bin_index`` between start and end.'"""
+
+    start: int
+    end: int
+    bin_index: int
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("need 0 <= start < end")
+
+    def active(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+    def apply(self, base: BinConfig) -> BinConfig:
+        value = base.credits[self.bin_index] + self.delta
+        value = max(0, min(base.spec.max_credits, value))
+        return base.with_credits(self.bin_index, value)
+
+
+#: metric names the trigger evaluator computes per epoch
+TRIGGER_METRICS = ("request_rate", "stall_fraction", "work_rate")
+
+
+@dataclass(frozen=True)
+class TriggerRule:
+    """'When ``metric`` crosses ``threshold``, do ``action``.'
+
+    ``direction`` is "below" or "above".  ``action`` receives the current
+    :class:`BinConfig` and returns the new one; pass ``callback`` instead
+    (or additionally) for side effects like starting a GA CONFIG_PHASE.
+    ``cooldown`` epochs must pass between firings.
+    """
+
+    metric: str
+    threshold: float
+    direction: str = "below"
+    action: Optional[Callable[[BinConfig], BinConfig]] = None
+    callback: Optional[Callable[[], None]] = None
+    cooldown: int = 4
+
+    def __post_init__(self) -> None:
+        if self.metric not in TRIGGER_METRICS:
+            raise ValueError(f"unknown metric {self.metric!r}; known: "
+                             f"{TRIGGER_METRICS}")
+        if self.direction not in ("below", "above"):
+            raise ValueError("direction must be 'below' or 'above'")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.action is None and self.callback is None:
+            raise ValueError("a trigger needs an action or a callback")
+
+    def crossed(self, value: float) -> bool:
+        if self.direction == "below":
+            return value < self.threshold
+        return value > self.threshold
+
+
+class AutoScaler:
+    """Evaluates a tenant's rules each epoch and rewrites its shaper."""
+
+    def __init__(self, system: SimSystem, core_id: int,
+                 base_config: BinConfig,
+                 schedules: List[ScheduleRule] = None,
+                 triggers: List[TriggerRule] = None,
+                 epoch: int = 5_000) -> None:
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if not 0 <= core_id < len(system.cores):
+            raise ValueError("core_id out of range")
+        self.system = system
+        self.core_id = core_id
+        self.base_config = base_config
+        self.schedules = list(schedules or [])
+        self.triggers = list(triggers or [])
+        self.epoch = epoch
+        self._snapshot = system.stats.cores[core_id].snapshot()
+        self._trigger_cooldowns: Dict[int, int] = {}
+        #: log of (cycle, reason) reconfiguration events
+        self.events: List[tuple] = []
+        self._installed: Optional[BinConfig] = None
+        system.every(epoch, self._tick)
+
+    # ------------------------------------------------------------------
+
+    def _metrics(self) -> Dict[str, float]:
+        core = self.system.stats.cores[self.core_id]
+        snap = core.snapshot()
+        delta = {key: snap[key] - self._snapshot[key] for key in snap}
+        self._snapshot = snap
+        stall = delta["shaper_stall_cycles"] + delta["memory_stall_cycles"]
+        return {
+            "request_rate": delta["dram_requests"] / self.epoch,
+            "stall_fraction": min(1.0, stall / self.epoch),
+            "work_rate": delta["work_cycles"] / self.epoch,
+        }
+
+    def _tick(self) -> None:
+        now = self.system.engine.now
+        metrics = self._metrics()
+        config = self.base_config
+        reasons = []
+
+        for rule in self.schedules:
+            if rule.active(now):
+                config = rule.apply(config)
+                reasons.append(f"schedule(bin {rule.bin_index} "
+                               f"{rule.delta:+d})")
+
+        for index, rule in enumerate(self.triggers):
+            cooling = self._trigger_cooldowns.get(index, 0)
+            if cooling > 0:
+                self._trigger_cooldowns[index] = cooling - 1
+                continue
+            if rule.crossed(metrics[rule.metric]):
+                if rule.action is not None:
+                    config = rule.action(config)
+                if rule.callback is not None:
+                    rule.callback()
+                self._trigger_cooldowns[index] = rule.cooldown
+                reasons.append(f"trigger({rule.metric} {rule.direction} "
+                               f"{rule.threshold})")
+
+        if config.credits != (self._installed.credits
+                              if self._installed else
+                              self._current_credits()):
+            self._install(config, now)
+            self.events.append((now, "; ".join(reasons) or "revert"))
+
+    def _current_credits(self):
+        limiter = self.system.limiter(self.core_id)
+        if isinstance(limiter, MittsShaper):
+            return limiter.config.credits
+        return None
+
+    def _install(self, config: BinConfig, now: int) -> None:
+        limiter = self.system.limiter(self.core_id)
+        if isinstance(limiter, MittsShaper):
+            limiter.reconfigure(config, now=now, reset_credits=False)
+            self.system.ports[self.core_id].kick()
+        else:
+            self.system.set_limiter(self.core_id, MittsShaper(config))
+        self._installed = config

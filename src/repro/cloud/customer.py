@@ -1,0 +1,54 @@
+"""IaaS customers: applications with budgets and utility functions.
+
+Section II-B's premise: resources should flow to whoever values them most,
+and customers should be able to buy exactly the quantity *and
+inter-arrival distribution* of bandwidth their application needs.  A
+:class:`Customer` couples a benchmark (its traffic character), a budget in
+core-equivalents, and a utility function over achieved performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.bins import BinConfig
+
+
+def linear_utility(work: float) -> float:
+    """Utility proportional to work done (throughput buyer)."""
+    return work
+
+
+def deadline_utility(threshold: float) -> Callable[[float], float]:
+    """Step-ish utility: full value at/above ``threshold`` work, scaled
+    below it (a latency/deadline-sensitive buyer)."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+
+    def utility(work: float) -> float:
+        if work >= threshold:
+            return threshold
+        return work * 0.5
+
+    return utility
+
+
+@dataclass
+class Customer:
+    """One tenant bidding for a memory-traffic distribution."""
+
+    name: str
+    benchmark: str
+    #: maximum spend, in core-equivalents (1 core == 1.6 GB/s)
+    budget: float
+    utility: Callable[[float], float] = linear_utility
+    #: the distribution the customer ends up purchasing
+    purchased: Optional[BinConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+
+    def value_of(self, work: float) -> float:
+        return self.utility(work)

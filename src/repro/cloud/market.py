@@ -1,0 +1,125 @@
+"""A simple bin-credit marketplace for an IaaS provider.
+
+The paper leaves pricing "up to software and the market" (Section III-B1)
+but requires that bins be priced at least commensurate with the bandwidth
+they provide, with low-inter-arrival bins costing more.  This module
+provides a concrete market: the provider offers a chip-wide supply of
+credits per bin (the provisioned off-chip bandwidth, Section III-C), and
+customers submit demand vectors; credits are awarded greedily by
+willingness-to-pay per credit, giving the economically efficient
+allocation of Section II-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.bins import BinConfig, BinSpec
+from ..core.pricing import credit_price
+from .customer import Customer
+
+
+@dataclass
+class Bid:
+    """A customer's demand for one bin: quantity plus per-credit value."""
+
+    customer: str
+    bin_index: int
+    quantity: int
+    per_credit_value: float
+
+    def __post_init__(self) -> None:
+        if self.quantity < 0:
+            raise ValueError("quantity must be non-negative")
+        if self.per_credit_value < 0:
+            raise ValueError("per-credit value must be non-negative")
+
+
+@dataclass
+class MarketOutcome:
+    """Result of clearing: per-customer configs, spend, and leftovers."""
+
+    allocations: Dict[str, BinConfig]
+    spend: Dict[str, float]
+    unsold: List[int]
+    revenue: float = 0.0
+
+
+class CreditMarket:
+    """Greedy price-priority clearing of bin-credit supply."""
+
+    def __init__(self, spec: BinSpec, supply: Sequence[int]) -> None:
+        if len(supply) != spec.num_bins:
+            raise ValueError("one supply entry per bin required")
+        if any(s < 0 for s in supply):
+            raise ValueError("supply must be non-negative")
+        self.spec = spec
+        self.supply = list(supply)
+
+    def floor_price(self, bin_index: int) -> float:
+        """Provider's reserve price: the Section IV-G1 pricing scheme."""
+        return credit_price(self.spec, bin_index)
+
+    def clear(self, customers: Sequence[Customer],
+              bids: Sequence[Bid]) -> MarketOutcome:
+        """Allocate supply to the highest-value bids above reserve.
+
+        Customers never spend beyond their budget; partially fillable bids
+        are filled as far as budget and supply allow.
+        """
+        known = {customer.name for customer in customers}
+        for bid in bids:
+            if bid.customer not in known:
+                raise ValueError(f"bid from unknown customer {bid.customer!r}")
+            if not 0 <= bid.bin_index < self.spec.num_bins:
+                raise ValueError(f"bid for invalid bin {bid.bin_index}")
+
+        remaining = list(self.supply)
+        budgets = {c.name: c.budget for c in customers}
+        awarded: Dict[str, List[int]] = {
+            c.name: [0] * self.spec.num_bins for c in customers}
+        spend: Dict[str, float] = {c.name: 0.0 for c in customers}
+        revenue = 0.0
+
+        # Highest willingness-to-pay first; stable tie-break by name.
+        order = sorted(bids, key=lambda b: (-b.per_credit_value,
+                                            b.customer, b.bin_index))
+        for bid in order:
+            price = self.floor_price(bid.bin_index)
+            if bid.per_credit_value < price:
+                continue  # below reserve: provider keeps the credits
+            can_afford = int(budgets[bid.customer] // price) \
+                if price > 0 else bid.quantity
+            take = min(bid.quantity, remaining[bid.bin_index], can_afford)
+            if take <= 0:
+                continue
+            remaining[bid.bin_index] -= take
+            cost = take * price
+            budgets[bid.customer] -= cost
+            spend[bid.customer] += cost
+            revenue += cost
+            awarded[bid.customer][bid.bin_index] += take
+
+        allocations = {
+            name: BinConfig(spec=self.spec, credits=tuple(vector))
+            for name, vector in awarded.items()}
+        for customer in customers:
+            customer.purchased = allocations[customer.name]
+        return MarketOutcome(allocations=allocations, spend=spend,
+                             unsold=remaining, revenue=revenue)
+
+
+def demand_to_bids(customer: Customer, desired: BinConfig,
+                   markup: float = 1.2) -> List[Bid]:
+    """Turn a desired distribution into bids at reserve-price x markup."""
+    if markup <= 0:
+        raise ValueError("markup must be positive")
+    bids = []
+    for index, quantity in enumerate(desired.credits):
+        if quantity <= 0:
+            continue
+        value = credit_price(desired.spec, index) * markup
+        bids.append(Bid(customer=customer.name, bin_index=index,
+                        quantity=quantity, per_credit_value=value))
+    return bids

@@ -1,0 +1,105 @@
+"""Provisioning strategies: MITTS distributions vs static bandwidth.
+
+Implements the three comparisons of Sections IV-F and IV-G:
+
+* ``best_static_config`` -- the optimal *single-bin* configuration (one
+  fixed request rate), found by searching all single-bin configurations
+  for the highest objective value: the paper's "optimal static bandwidth
+  provisioning" baseline of Figure 18.
+* ``even_split_configs`` / ``heterogeneous_static_configs`` -- the static
+  even and optimised heterogeneous splits of Figure 16.
+* ``perf_per_cost`` -- work per core-equivalent price, the economic
+  efficiency measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.bins import BinConfig, BinSpec
+from ..core.config_space import static_configs
+from ..core.pricing import config_price_core_equivalents
+from ..core.shaper import MittsShaper
+from ..sim.system import SimSystem, SystemConfig
+
+
+def run_with_configs(traces: Sequence, configs: Sequence[BinConfig],
+                     system_config: SystemConfig, cycles: int,
+                     scheduler=None):
+    """Simulate ``traces`` with one MITTS shaper per core (replenishment
+    phases staggered per core)."""
+    num_cores = max(1, len(configs))
+    limiters = [MittsShaper(config,
+                            phase=i * config.replenish_period() // num_cores)
+                for i, config in enumerate(configs)]
+    system = SimSystem(traces, config=system_config, limiters=limiters,
+                       scheduler=scheduler)
+    return system.run(cycles)
+
+
+def perf_per_cost(work: float, config: BinConfig,
+                  core_cost: float = 1.0) -> float:
+    """Work per total price (CPU + purchased distribution)."""
+    price = core_cost + config_price_core_equivalents(config)
+    return work / max(price, 1e-9)
+
+
+def best_static_config(trace, system_config: SystemConfig, cycles: int,
+                       spec: BinSpec = None,
+                       objective: Callable[[float, BinConfig], float] = None,
+                       max_credits: int = 64
+                       ) -> Tuple[BinConfig, float]:
+    """Search all single-bin configurations for the best objective value.
+
+    ``objective(work, config)`` defaults to performance-per-cost; Figure
+    18's baseline is exactly this search ("we find the optimal fixed
+    inter-arrival time configuration with highest performance-per-cost").
+    Returns the winning configuration and its objective value.
+    """
+    if spec is None:
+        spec = BinSpec()
+    if objective is None:
+        objective = perf_per_cost
+    best: Tuple[BinConfig, float] = (None, float("-inf"))
+    for config in static_configs(spec, max_credits=max_credits):
+        stats = run_with_configs([trace], [config], system_config, cycles)
+        work = stats.cores[0].work_cycles
+        score = objective(work, config)
+        if score > best[1]:
+            best = (config, score)
+    if best[0] is None:
+        raise RuntimeError("static configuration search found nothing")
+    return best
+
+
+def even_split_configs(spec: BinSpec, num_cores: int,
+                       total_credits: int, bin_index: int = None
+                       ) -> List[BinConfig]:
+    """Static even split: every core gets the same single-rate allocation."""
+    if bin_index is None:
+        bin_index = spec.num_bins // 2
+    per_core = max(1, total_credits // num_cores)
+    return [BinConfig.single_bin(bin_index, per_core, spec)
+            for _ in range(num_cores)]
+
+
+def heterogeneous_static_configs(spec: BinSpec, demands: Sequence[float],
+                                 total_credits: int,
+                                 bin_index: int = None) -> List[BinConfig]:
+    """Static heterogeneous split: per-core shares proportional to demand.
+
+    ``demands`` are each program's measured alone request rates; the
+    optimal static heterogeneous allocation of Figure 16 gives each
+    program bandwidth proportional to what it can actually use.
+    """
+    if bin_index is None:
+        bin_index = spec.num_bins // 2
+    total_demand = sum(demands)
+    if total_demand <= 0:
+        raise ValueError("demands must sum to a positive value")
+    configs = []
+    for demand in demands:
+        share = max(1, round(total_credits * demand / total_demand))
+        share = min(share, spec.max_credits)
+        configs.append(BinConfig.single_bin(bin_index, share, spec))
+    return configs

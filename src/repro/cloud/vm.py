@@ -1,0 +1,104 @@
+"""Per-VM traffic shaping: one purchased distribution across many vCPUs.
+
+The paper places the shaper "within a core or after a VM's LLC" and
+Section IV-H shows credit pools *shared* across threads beat per-thread
+slices.  :class:`VirtualMachine` packages that for the IaaS layer: a
+tenant's vCPUs share a single MITTS shaper holding the distribution the
+tenant purchased, and context-swap helpers expose the register-level
+state the OS would save/restore (Section IV-H: "the MITTS bin
+configurations are exposed in a set of configuration registers [that] can
+be swapped as part of the thread state").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.bins import BinConfig
+from ..core.shaper import MittsShaper
+from ..sim.system import SimSystem, SystemConfig
+
+
+@dataclass
+class MittsRegisterState:
+    """The architectural state the OS swaps on a VM/thread switch."""
+
+    credits: List[int]
+    replenish_values: List[int]
+    next_boundary: int
+
+    @classmethod
+    def capture(cls, shaper: MittsShaper) -> "MittsRegisterState":
+        return cls(credits=list(shaper.state.counts),
+                   replenish_values=list(shaper.config.credits),
+                   next_boundary=shaper.replenisher.next_boundary())
+
+    def restore(self, shaper: MittsShaper) -> None:
+        if len(self.credits) != len(shaper.state.counts):
+            raise ValueError("register state has wrong bin count")
+        shaper.state.counts = list(self.credits)
+        shaper.replenisher._next = self.next_boundary
+
+
+@dataclass
+class VirtualMachine:
+    """A tenant VM: named vCPU traces sharing one purchased shaper."""
+
+    name: str
+    traces: Sequence
+    config: BinConfig
+    shaper: Optional[MittsShaper] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise ValueError(f"VM {self.name!r} needs at least one vCPU")
+        if self.shaper is None:
+            self.shaper = MittsShaper(self.config)
+
+    @property
+    def vcpus(self) -> int:
+        return len(self.traces)
+
+    def swap_out(self) -> MittsRegisterState:
+        """Capture the shaper registers (VM being descheduled)."""
+        return MittsRegisterState.capture(self.shaper)
+
+    def swap_in(self, state: MittsRegisterState) -> None:
+        """Restore previously captured registers."""
+        state.restore(self.shaper)
+
+
+def build_vm_system(vms: Sequence[VirtualMachine],
+                    system_config: SystemConfig,
+                    scheduler=None) -> SimSystem:
+    """Assemble a system where each VM's vCPUs share its shaper.
+
+    Returns the :class:`SimSystem`; core ``i`` of the system belongs to
+    the VM found via :func:`vm_core_ranges`.
+    """
+    traces = []
+    limiters = []
+    for vm in vms:
+        for trace in vm.traces:
+            traces.append(trace)
+            limiters.append(vm.shaper)
+    return SimSystem(traces, config=system_config, limiters=limiters,
+                     scheduler=scheduler)
+
+
+def vm_core_ranges(vms: Sequence[VirtualMachine]) -> Dict[str, range]:
+    """Core-id range owned by each VM in a :func:`build_vm_system` system."""
+    ranges: Dict[str, range] = {}
+    start = 0
+    for vm in vms:
+        ranges[vm.name] = range(start, start + vm.vcpus)
+        start += vm.vcpus
+    return ranges
+
+
+def vm_work(vms: Sequence[VirtualMachine], stats) -> Dict[str, int]:
+    """Per-VM work retired from a finished run's stats."""
+    ranges = vm_core_ranges(vms)
+    return {name: sum(stats.cores[i].work_cycles for i in cores)
+            for name, cores in ranges.items()}

@@ -1,0 +1,58 @@
+"""MITTS core: bins, credits, the traffic shaper, pricing, and area model."""
+
+from .area import MittsAreaModel, PUBLISHED_AREA_MM2, PUBLISHED_CORE_FRACTION
+from .congestion import CongestionController
+from .bins import (BinConfig, BinSpec, DEFAULT_INTERVAL_LENGTH,
+                   DEFAULT_MAX_CREDITS, DEFAULT_NUM_BINS)
+from .config_space import (bandwidth_for_interval, interval_for_bandwidth,
+                           matches_static, repair_to_constraints,
+                           static_config_for_bandwidth, static_configs)
+from .credits import CreditState
+from .guarantees import (guaranteed_requests_per_period, service_curve,
+                         sustainable_bandwidth, worst_case_burst_completion,
+                         worst_case_single_delay)
+from .limiter import (NoLimiter, SourceLimiter, StaticLimiter,
+                      TokenBucketLimiter)
+from .pricing import (burst_penalty, config_price,
+                      config_price_core_equivalents, credit_price,
+                      price_vector, CORE_EQUIVALENT_BANDWIDTH)
+from .replenish import RateReplenisher, ReplenishPolicy, ResetReplenisher
+from .shaper import MittsShaper
+
+__all__ = [
+    "BinConfig",
+    "BinSpec",
+    "CORE_EQUIVALENT_BANDWIDTH",
+    "CongestionController",
+    "CreditState",
+    "DEFAULT_INTERVAL_LENGTH",
+    "DEFAULT_MAX_CREDITS",
+    "DEFAULT_NUM_BINS",
+    "MittsAreaModel",
+    "MittsShaper",
+    "NoLimiter",
+    "PUBLISHED_AREA_MM2",
+    "PUBLISHED_CORE_FRACTION",
+    "RateReplenisher",
+    "ReplenishPolicy",
+    "ResetReplenisher",
+    "SourceLimiter",
+    "StaticLimiter",
+    "TokenBucketLimiter",
+    "bandwidth_for_interval",
+    "guaranteed_requests_per_period",
+    "service_curve",
+    "sustainable_bandwidth",
+    "worst_case_burst_completion",
+    "worst_case_single_delay",
+    "burst_penalty",
+    "config_price",
+    "config_price_core_equivalents",
+    "credit_price",
+    "interval_for_bandwidth",
+    "matches_static",
+    "price_vector",
+    "repair_to_constraints",
+    "static_config_for_bandwidth",
+    "static_configs",
+]

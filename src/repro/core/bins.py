@@ -1,0 +1,195 @@
+"""Bin geometry and configuration for the MITTS traffic shaper.
+
+Terminology follows Table I of the paper:
+
+==========  ==================================================================
+``N``       total number of bins
+``L``       time-interval length of each bin (10 CPU cycles in the paper)
+``t_i``     inter-arrival time represented by ``bin_i``; requests with
+            inter-arrival time in ``[t_i - L/2, t_i + L/2)`` fall into it
+``n_i``     number of credits currently in ``bin_i``
+``K_i``     number of credits replenished into ``bin_i`` each period
+``T_r``     overall replenishment period
+==========  ==================================================================
+
+``BinSpec`` holds the geometry (N, L and the derived ``t_i`` centres);
+``BinConfig`` adds a concrete credit allocation ``K`` and the derived
+average-interval / average-bandwidth maths used throughout Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+#: paper default: ten bins of ten CPU cycles each
+DEFAULT_NUM_BINS = 10
+DEFAULT_INTERVAL_LENGTH = 10
+#: the tape-out sizes each credit register at 10 bits
+DEFAULT_MAX_CREDITS = 1024
+
+
+@dataclass(frozen=True)
+class BinSpec:
+    """Geometry of the shaper's bins: how inter-arrival time is quantised.
+
+    ``t_i = L/2 + i*L`` so that bin 0 covers ``[0, L)``, bin 1 covers
+    ``[L, 2L)`` and so on; the final bin is open-ended on the right (any
+    request slower than the last bin edge matches the last bin).
+    """
+
+    num_bins: int = DEFAULT_NUM_BINS
+    interval_length: int = DEFAULT_INTERVAL_LENGTH
+    max_credits: int = DEFAULT_MAX_CREDITS
+
+    def __post_init__(self) -> None:
+        if self.num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        if self.interval_length < 1:
+            raise ValueError("interval_length must be >= 1")
+        if self.max_credits < 1:
+            raise ValueError("max_credits must be >= 1")
+
+    def center(self, index: int) -> float:
+        """``t_i``, the representative inter-arrival time of ``bin_i``."""
+        if not 0 <= index < self.num_bins:
+            raise IndexError(f"bin index {index} out of range")
+        return self.interval_length / 2 + index * self.interval_length
+
+    @property
+    def centers(self) -> Tuple[float, ...]:
+        """All ``t_i`` values."""
+        return tuple(self.center(i) for i in range(self.num_bins))
+
+    def lower_edge(self, index: int) -> int:
+        """Smallest inter-arrival time that falls in ``bin_index``."""
+        if not 0 <= index < self.num_bins:
+            raise IndexError(f"bin index {index} out of range")
+        return index * self.interval_length
+
+    def bin_for_interarrival(self, interarrival: int) -> int:
+        """Which bin a request with the given inter-arrival time falls into.
+
+        Inter-arrival times beyond the last bin edge clamp to the last bin
+        (the paper notes L can be grown for intrinsically slow workloads;
+        clamping is the hardware-faithful behaviour for a fixed geometry).
+        """
+        if interarrival < 0:
+            raise ValueError("inter-arrival time must be non-negative")
+        index = interarrival // self.interval_length
+        return min(index, self.num_bins - 1)
+
+    def bandwidth_of_bin(self, index: int, line_bytes: int = 64) -> float:
+        """``b_i``: bytes/cycle a request stream at ``t_i`` spacing consumes."""
+        return line_bytes / self.center(index)
+
+
+@dataclass(frozen=True)
+class BinConfig:
+    """A bin geometry plus a concrete credit allocation ``K``.
+
+    This is the unit the genetic algorithm searches over and the unit an
+    IaaS customer purchases.
+    """
+
+    spec: BinSpec
+    credits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.credits) != self.spec.num_bins:
+            raise ValueError(
+                f"credit vector has {len(self.credits)} entries for "
+                f"{self.spec.num_bins} bins")
+        for value in self.credits:
+            if value < 0:
+                raise ValueError("credits must be non-negative")
+            if value > self.spec.max_credits:
+                raise ValueError(
+                    f"credit count {value} exceeds max {self.spec.max_credits}")
+
+    @classmethod
+    def from_credits(cls, credits: Sequence[int],
+                     spec: BinSpec = None) -> "BinConfig":
+        """Convenience constructor; defaults to the paper's 10x10 geometry."""
+        if spec is None:
+            spec = BinSpec()
+        return cls(spec=spec, credits=tuple(int(c) for c in credits))
+
+    @classmethod
+    def single_bin(cls, index: int, credits: int,
+                   spec: BinSpec = None) -> "BinConfig":
+        """A static configuration: all credits in one bin (Section IV-G3)."""
+        if spec is None:
+            spec = BinSpec()
+        vector = [0] * spec.num_bins
+        vector[index] = credits
+        return cls(spec=spec, credits=tuple(vector))
+
+    @classmethod
+    def unlimited(cls, spec: BinSpec = None) -> "BinConfig":
+        """Effectively unshaped: max credits in the fastest bin.
+
+        Any request may spend a bin-0 credit (its inter-arrival time is
+        necessarily >= bin 0's), and the allocation sustains one request
+        per ``t_0`` cycles -- above any rate a single L1 port generates.
+        """
+        if spec is None:
+            spec = BinSpec()
+        return cls.single_bin(0, spec.max_credits, spec)
+
+    @property
+    def total_credits(self) -> int:
+        """Total transactions allowed per replenishment period."""
+        return sum(self.credits)
+
+    def replenish_period(self) -> int:
+        """``T_r``: the period over which the allocation's credits last.
+
+        Section III-B2 sizes the period so that "ideally all credits
+        should be used up within this period": spending every credit at
+        its bin's nominal spacing takes ``sum_i K_i * t_i`` cycles, which
+        we use as ``T_r``.  (The paper's formula substitutes the hardware
+        bound ``K_max`` for ``K_i``, which sizes the *registers*; using the
+        configuration's own credits makes the enforced average bandwidth
+        equal the allocation's ``1 / I_avg``, the identity Section IV-C's
+        equal-bandwidth constraint relies on.)
+        """
+        weighted = sum(k * t for k, t in zip(self.credits, self.spec.centers))
+        return max(1, round(weighted))
+
+    def average_interval(self) -> float:
+        """``I_avg = sum(n_i * t_i) / sum(n_i)`` (Section IV-C)."""
+        total = self.total_credits
+        if total == 0:
+            return float("inf")
+        weighted = sum(n * t for n, t in zip(self.credits, self.spec.centers))
+        return weighted / total
+
+    def average_bandwidth(self, period: int = None,
+                          line_bytes: int = 64) -> float:
+        """Average bytes/cycle the configuration permits over a period.
+
+        ``B_avg = total_credits * line_bytes / T_r`` -- total traffic the
+        credits allow divided by the replenishment period.
+        """
+        if period is None:
+            period = self.replenish_period()
+        if period <= 0:
+            raise ValueError("period must be positive")
+        return self.total_credits * line_bytes / period
+
+    def with_credits(self, index: int, value: int) -> "BinConfig":
+        """Functional update of one bin's credit count."""
+        vector = list(self.credits)
+        vector[index] = value
+        return BinConfig(spec=self.spec, credits=tuple(vector))
+
+    def scaled(self, factor: float) -> "BinConfig":
+        """Scale all bins by ``factor``, rounding and clamping to the spec."""
+        vector = [min(self.spec.max_credits, max(0, round(c * factor)))
+                  for c in self.credits]
+        return BinConfig(spec=self.spec, credits=tuple(vector))
+
+    def as_list(self) -> List[int]:
+        return list(self.credits)

@@ -1,0 +1,188 @@
+"""Bin-configuration space utilities: constraints and static baselines.
+
+Section IV-C compares MITTS against static provisioning *at equal average
+inter-arrival time and equal average bandwidth*:
+
+    I_avg = sum(n_i * t_i) / sum(n_i) = I_static
+    B_avg = sum(n_i) / P            = B_static
+
+This module provides the constraint checks, a repair operator that projects
+an arbitrary credit vector onto the constraint surface (used by the GA so
+every genome stays comparable to the static baseline), and enumeration of
+the single-bin static configurations searched in Section IV-G3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence
+
+from .bins import BinConfig, BinSpec
+
+
+def interval_for_bandwidth(bandwidth_bytes_per_sec: float,
+                           clock_hz: float = 2.4e9,
+                           line_bytes: int = 64) -> float:
+    """Average request interval (cycles) equivalent to a bandwidth."""
+    if bandwidth_bytes_per_sec <= 0:
+        raise ValueError("bandwidth must be positive")
+    requests_per_sec = bandwidth_bytes_per_sec / line_bytes
+    return clock_hz / requests_per_sec
+
+
+def bandwidth_for_interval(interval_cycles: float,
+                           clock_hz: float = 2.4e9,
+                           line_bytes: int = 64) -> float:
+    """Bandwidth (bytes/sec) of one request every ``interval_cycles``."""
+    if interval_cycles <= 0:
+        raise ValueError("interval must be positive")
+    return clock_hz / interval_cycles * line_bytes
+
+
+def matches_static(config: BinConfig, static_interval: float,
+                   total_credits: int,
+                   interval_tolerance: float = 0.10,
+                   credit_tolerance: float = 0.10) -> bool:
+    """Does ``config`` match the static baseline's I_avg and B_avg?
+
+    Bandwidth equality over a common period reduces to equal total credits;
+    interval equality is checked against ``static_interval`` within a
+    relative tolerance (bin centres quantise I_avg, so exact equality is
+    generally unattainable).
+    """
+    if config.total_credits == 0:
+        return False
+    credit_err = abs(config.total_credits - total_credits) / max(1, total_credits)
+    if credit_err > credit_tolerance:
+        return False
+    interval_err = abs(config.average_interval() - static_interval) / static_interval
+    return interval_err <= interval_tolerance
+
+
+def repair_to_constraints(credits: Sequence[int], spec: BinSpec,
+                          static_interval: float,
+                          total_credits: int) -> BinConfig:
+    """Project a credit vector onto the equal-I_avg / equal-B_avg surface.
+
+    Two-step repair used by the constrained GA of Section IV-C:
+
+    1. rescale so the total equals ``total_credits`` (bandwidth equality);
+    2. shift weight between the fastest and slowest populated bins until
+       the average interval lands within quantisation distance of
+       ``static_interval``.
+    """
+    vector = [max(0, int(c)) for c in credits]
+    if len(vector) != spec.num_bins:
+        raise ValueError("credit vector length mismatch")
+    if sum(vector) == 0:
+        vector = [1] * spec.num_bins
+
+    # Step 1: match total credits.
+    vector = _rescale_total(vector, total_credits, spec)
+
+    # Step 2: nudge the average interval towards the target.
+    config = BinConfig(spec=spec, credits=tuple(vector))
+    step_budget = 4 * total_credits
+    centers = spec.centers
+    while step_budget > 0:
+        current = config.average_interval()
+        error = current - static_interval
+        if abs(error) <= spec.interval_length / 2:
+            break
+        vector = list(config.credits)
+        if error > 0:
+            moved = _move_credit(vector, from_slow=True, centers=centers)
+        else:
+            moved = _move_credit(vector, from_slow=False, centers=centers)
+        if not moved:
+            break
+        config = BinConfig(spec=spec, credits=tuple(vector))
+        step_budget -= 1
+    return config
+
+
+def _rescale_total(vector: List[int], target: int, spec: BinSpec) -> List[int]:
+    """Scale ``vector`` to sum exactly to ``target`` (largest-remainder)."""
+    total = sum(vector)
+    if total == 0:
+        raise ValueError("cannot rescale a zero vector")
+    scaled = [c * target / total for c in vector]
+    floored = [min(spec.max_credits, int(math.floor(s))) for s in scaled]
+    remainder = target - sum(floored)
+    # Distribute the remainder to the largest fractional parts.
+    order = sorted(range(len(vector)),
+                   key=lambda i: scaled[i] - math.floor(scaled[i]),
+                   reverse=True)
+    idx = 0
+    while remainder > 0 and idx < 10 * len(vector):
+        i = order[idx % len(vector)]
+        if floored[i] < spec.max_credits:
+            floored[i] += 1
+            remainder -= 1
+        idx += 1
+    return floored
+
+
+def _move_credit(vector: List[int], from_slow: bool,
+                 centers: Sequence[float]) -> bool:
+    """Move one credit between extreme populated bins to shift I_avg.
+
+    ``from_slow=True`` moves a credit from the slowest populated bin to the
+    fastest bin (reduces I_avg); ``False`` does the opposite.  Returns
+    whether a move happened.
+    """
+    populated = [i for i, c in enumerate(vector) if c > 0]
+    if not populated:
+        return False
+    if from_slow:
+        source = populated[-1]
+        dest = 0
+    else:
+        source = populated[0]
+        dest = len(vector) - 1
+    if source == dest:
+        return False
+    vector[source] -= 1
+    vector[dest] += 1
+    return True
+
+
+def static_configs(spec: BinSpec, max_credits: int = None) -> Iterator[BinConfig]:
+    """All single-bin configurations (the Section IV-G3 baseline space).
+
+    Yields configurations with ``c`` credits in exactly one bin for every
+    bin index and every power-of-two-ish credit count up to ``max_credits``.
+    The exhaustive per-credit sweep is exponential; the geometric ladder
+    covers the same dynamic range the way the paper's search effectively
+    does (performance/cost is smooth in credit count).
+    """
+    if max_credits is None:
+        max_credits = spec.max_credits
+    count = 1
+    ladder = []
+    while count <= max_credits:
+        ladder.append(count)
+        count *= 2
+    if ladder[-1] != max_credits:
+        ladder.append(max_credits)
+    for index in range(spec.num_bins):
+        for credits in ladder:
+            yield BinConfig.single_bin(index, credits, spec)
+
+
+def static_config_for_bandwidth(spec: BinSpec,
+                                bandwidth_bytes_per_sec: float,
+                                clock_hz: float = 2.4e9,
+                                line_bytes: int = 64) -> BinConfig:
+    """Single-bin config whose rate approximates a target bandwidth.
+
+    Picks the bin whose centre is closest to the equivalent interval and
+    fills it with enough credits to sustain the rate across a period.
+    """
+    interval = interval_for_bandwidth(bandwidth_bytes_per_sec, clock_hz,
+                                      line_bytes)
+    index = min(range(spec.num_bins),
+                key=lambda i: abs(spec.center(i) - interval))
+    credits = max(1, min(spec.max_credits,
+                         round(spec.max_credits / (index + 1) / 4)))
+    return BinConfig.single_bin(index, credits, spec)

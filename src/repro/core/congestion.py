@@ -1,0 +1,113 @@
+"""Congestion feedback: global backpressure to the MITTS units.
+
+Section III-C sketches, and leaves to future work, "more complex schemes
+... which communicate short-term congestion to the MITTS units which then
+proportionally scale-down resources until the congestion is resolved".
+This module implements that scheme: a :class:`CongestionController`
+watches the memory controller's transaction-queue occupancy and, when it
+stays above a high-water mark, multiplicatively scales every shaper's
+credit allocation down; when the queue drains below a low-water mark the
+allocations recover toward their purchased configuration.
+
+The controller only ever scales *down* from the purchased allocation --
+tenants never receive more than they bought -- so it composes with the
+IaaS provisioning story.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.bins import BinConfig
+from ..core.shaper import MittsShaper
+from ..sim.system import SimSystem
+
+
+class CongestionController:
+    """Watches MC queue depth and proportionally throttles all shapers."""
+
+    def __init__(self, system: SimSystem, epoch: int = 2_000,
+                 high_water: int = 24, low_water: int = 8,
+                 scale_down: float = 0.7, recover: float = 1.2,
+                 floor: float = 0.1) -> None:
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if not 0 < scale_down < 1:
+            raise ValueError("scale_down must be in (0, 1)")
+        if recover <= 1:
+            raise ValueError("recover must exceed 1")
+        if not 0 < floor <= 1:
+            raise ValueError("floor must be in (0, 1]")
+        if low_water >= high_water:
+            raise ValueError("low_water must be below high_water")
+        self.system = system
+        self.epoch = epoch
+        self.high_water = high_water
+        self.low_water = low_water
+        self.scale_down = scale_down
+        self.recover = recover
+        self.floor = floor
+        #: purchased (nominal) configuration per core
+        self.nominal: List[Optional[BinConfig]] = []
+        for port in system.ports:
+            limiter = port.limiter
+            self.nominal.append(limiter.config
+                                if isinstance(limiter, MittsShaper)
+                                else None)
+        #: current multiplicative scale applied to every shaper
+        self.current_scale = 1.0
+        self.scale_down_events = 0
+        self._peak_since_tick = 0
+        system.every(epoch, self._tick)
+        self._watch_queue()
+
+    def _watch_queue(self) -> None:
+        """Sample queue depth at a fine grain via the engine clock."""
+        depth = len(self.system.mc.queue) + len(self.system.mc.overflow)
+        if depth > self._peak_since_tick:
+            self._peak_since_tick = depth
+        self.system.engine.schedule_in(max(1, self.epoch // 8),
+                                       self._watch_queue)
+
+    def _tick(self) -> None:
+        peak = self._peak_since_tick
+        self._peak_since_tick = 0
+        if peak >= self.high_water:
+            new_scale = max(self.floor, self.current_scale * self.scale_down)
+            if new_scale < self.current_scale:
+                self.current_scale = new_scale
+                self.scale_down_events += 1
+                self._apply()
+        elif peak <= self.low_water and self.current_scale < 1.0:
+            self.current_scale = min(1.0, self.current_scale * self.recover)
+            self._apply()
+
+    def _apply(self) -> None:
+        """Install scaled allocations *on the nominal period*.
+
+        Scaling credits alone would scale T_r with them and leave the
+        enforced average rate unchanged; pinning the replenishment period
+        to the purchased configuration's makes the scale factor a true
+        bandwidth multiplier.
+        """
+        from ..core.replenish import ResetReplenisher
+
+        now = self.system.engine.now
+        for core_id, nominal in enumerate(self.nominal):
+            if nominal is None:
+                continue
+            limiter = self.system.limiter(core_id)
+            if not isinstance(limiter, MittsShaper):
+                continue
+            scaled = nominal.scaled(self.current_scale)
+            if scaled.total_credits == 0:
+                scaled = nominal.scaled(self.floor)
+            if scaled.total_credits == 0:
+                continue
+            limiter.reconfigure(scaled, now=now, reset_credits=False)
+            period = nominal.replenish_period()
+            phase = core_id * period // max(1, len(self.nominal))
+            limiter.replenisher = ResetReplenisher(scaled, period=period,
+                                                   phase=phase)
+            limiter.replenisher.reset_clock(now)
+            self.system.ports[core_id].kick()

@@ -1,0 +1,95 @@
+"""Worst-case service guarantees of a bin configuration.
+
+Section IV-F positions MITTS for real-time systems: "MITTS could be
+applied to real-time systems to provide better application memory
+bandwidth isolation while maintaining efficiency."  A real-time argument
+needs *bounds*, not averages.  This module derives, analytically from a
+:class:`~repro.core.bins.BinConfig` under reset replenishment:
+
+* the guaranteed number of requests serviceable in any replenishment
+  period (trivially ``sum K_i``),
+* the worst-case shaper delay of a single request, and
+* the worst-case completion time of a burst of ``k`` back-to-back
+  requests.
+
+Bounds assume the shaper is the only constraint (the paper's isolation
+setting: downstream bandwidth has been provisioned, Section III-C).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .bins import BinConfig
+
+
+def guaranteed_requests_per_period(config: BinConfig) -> int:
+    """Requests the allocation guarantees per replenishment period."""
+    return config.total_credits
+
+
+def worst_case_single_delay(config: BinConfig) -> int:
+    """Worst-case shaper delay of one request (cycles).
+
+    The adversarial case: every credit of the period is already spent and
+    the request arrived immediately after a release, so it must wait for
+    the next replenishment boundary (up to a full period) and then age
+    into the fastest populated bin.
+    """
+    if config.total_credits == 0:
+        raise ValueError("a zero-credit allocation has no service bound")
+    spec = config.spec
+    fastest = next(i for i, c in enumerate(config.credits) if c > 0)
+    return config.replenish_period() + spec.lower_edge(fastest)
+
+
+def worst_case_burst_completion(config: BinConfig, burst: int) -> int:
+    """Worst-case cycles to release a burst of ``burst`` requests.
+
+    Pessimistic release schedule: the burst arrives right after all
+    credits were drained, waits a full period, then each period releases
+    the allocation's credits at their bins' nominal spacing, fastest bins
+    first (the shaper's own deduction preference).
+    """
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    if config.total_credits == 0:
+        raise ValueError("a zero-credit allocation has no service bound")
+    period = config.replenish_period()
+    full_periods = (burst - 1) // config.total_credits
+    remaining = burst - full_periods * config.total_credits
+    # Within the final period: spend credits fastest-first.
+    spend_time = 0.0
+    spec = config.spec
+    left = remaining
+    for index, credits in enumerate(config.credits):
+        take = min(left, credits)
+        spend_time += take * spec.center(index)
+        left -= take
+        if left == 0:
+            break
+    return int(period + full_periods * period + math.ceil(spend_time))
+
+
+def sustainable_bandwidth(config: BinConfig,
+                          line_bytes: int = 64) -> float:
+    """Long-run guaranteed bandwidth (bytes/cycle): credits per period."""
+    period = config.replenish_period()
+    return config.total_credits * line_bytes / period
+
+
+def service_curve(config: BinConfig, horizons: List[int]) -> List[int]:
+    """Guaranteed serviced requests by each horizon (a network-calculus
+    style lower service curve under reset replenishment)."""
+    period = config.replenish_period()
+    total = config.total_credits
+    curve = []
+    for horizon in horizons:
+        if horizon < 0:
+            raise ValueError("horizons must be non-negative")
+        # Conservative: a full period may elapse before the first
+        # replenishment, and each completed period thereafter guarantees
+        # one allocation's worth of service.
+        curve.append(max(0, horizon // period) * total)
+    return curve

@@ -1,0 +1,126 @@
+"""Source rate limiters: the interface MITTS plugs into, plus baselines.
+
+Everything that throttles a core at the source -- MITTS itself, the static
+single-rate limiter it is compared against in Section IV-C, FST's throttle,
+and MemGuard's per-core budget -- implements :class:`SourceLimiter` so the
+core model is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SourceLimiter:
+    """Decides when a core's L1 miss may proceed towards the LLC.
+
+    The contract is two-phase: the core model asks :meth:`earliest_issue`
+    for the first cycle at which a queued request could be released, then
+    calls :meth:`issue` at that cycle to commit (consuming whatever budget
+    the policy tracks).  LLC hit/miss feedback arrives asynchronously via
+    :meth:`on_llc_response` (the hybrid design of Section III-D).
+    """
+
+    def earliest_issue(self, now: int) -> Optional[int]:
+        """First cycle >= ``now`` a request may be released.
+
+        ``None`` means the limiter can never release under its current
+        configuration (e.g. a zero-credit allocation); the caller should
+        park the request until :meth:`reconfigure`.
+        """
+        raise NotImplementedError
+
+    def issue(self, cycle: int, req_id: int = -1) -> None:
+        """Commit a release at ``cycle`` (must be >= the advertised time)."""
+        raise NotImplementedError
+
+    def on_llc_response(self, req_id: int, was_hit: bool) -> None:
+        """LLC hit/miss feedback; default limiters ignore it."""
+
+    def stall_forever(self) -> bool:
+        """True if the current configuration can never release a request."""
+        return False
+
+
+class NoLimiter(SourceLimiter):
+    """Pass-through: requests release immediately (unshaped baseline)."""
+
+    def earliest_issue(self, now: int) -> Optional[int]:
+        return now
+
+    def issue(self, cycle: int, req_id: int = -1) -> None:
+        return None
+
+
+class StaticLimiter(SourceLimiter):
+    """The paper's static comparator: a constant request rate.
+
+    "The static allocation mimics a less sophisticated memory system limiter
+    that can limit a program's memory requests at or below a constant rate
+    but cannot take into account inter-arrival times" (Section IV-C).
+    Implemented as a minimum spacing of ``interval`` cycles between
+    consecutive releases.
+    """
+
+    def __init__(self, interval: int) -> None:
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self.interval = interval
+        self._last_release: Optional[int] = None
+
+    def earliest_issue(self, now: int) -> Optional[int]:
+        if self._last_release is None:
+            return now
+        return max(now, self._last_release + self.interval)
+
+    def issue(self, cycle: int, req_id: int = -1) -> None:
+        earliest = self.earliest_issue(cycle)
+        if cycle < earliest:
+            raise ValueError(f"issue at {cycle} before earliest {earliest}")
+        self._last_release = cycle
+
+    def set_interval(self, interval: int) -> None:
+        """Adjust the rate (used by FST-style dynamic throttling)."""
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self.interval = interval
+
+
+class TokenBucketLimiter(SourceLimiter):
+    """Classic token bucket (Related Work): rate plus bounded burst.
+
+    One token accrues every ``fill_interval`` cycles up to ``capacity``;
+    each release consumes a token.  With ``capacity=1`` this is the static
+    limiter.  Provided as a reference point between the static limiter and
+    full distribution shaping.
+    """
+
+    def __init__(self, fill_interval: int, capacity: int) -> None:
+        if fill_interval < 1:
+            raise ValueError("fill_interval must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.fill_interval = fill_interval
+        self.capacity = capacity
+        self._tokens = float(capacity)
+        self._last_update = 0
+
+    def _accrue(self, now: int) -> None:
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed / self.fill_interval)
+            self._last_update = now
+
+    def earliest_issue(self, now: int) -> Optional[int]:
+        self._accrue(now)
+        if self._tokens >= 1.0:
+            return now
+        deficit = 1.0 - self._tokens
+        return now + max(1, -(-int(deficit * self.fill_interval) // 1))
+
+    def issue(self, cycle: int, req_id: int = -1) -> None:
+        self._accrue(cycle)
+        if self._tokens < 1.0 - 1e-9:
+            raise ValueError("no token available at issue time")
+        self._tokens -= 1.0

@@ -1,0 +1,89 @@
+"""Bin-based credit pricing (Section IV-G).
+
+Credits in faster bins enable higher instantaneous bandwidth and are priced
+higher.  Following Figure 17's caption: the price of a credit is
+proportional to the bandwidth it stands for, and high-request-rate credits
+are additionally penalised by the linear scale factor ``2 - t_i / t_N``
+(2x at the fastest bin, approaching 1x at the slowest).
+
+The paper's IaaS exchange rate (Section IV-G): one processor core costs the
+same as 1.6 GB/s of memory bandwidth.  At 2.4 GHz and 64-byte lines that
+converts to CORE_PRICE units used by :mod:`repro.cloud`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .bins import BinConfig, BinSpec
+
+
+#: Section IV-G: a core costs the same as this much bandwidth (bytes/sec).
+CORE_EQUIVALENT_BANDWIDTH = 1.6e9
+#: Table II core clock.
+CORE_CLOCK_HZ = 2.4e9
+
+
+def burst_penalty(spec: BinSpec, index: int) -> float:
+    """Linear penalty ``2 - t_i / t_N`` for high-request-rate credits."""
+    t_i = spec.center(index)
+    t_n = spec.center(spec.num_bins - 1)
+    return 2.0 - t_i / t_n
+
+
+def credit_price(spec: BinSpec, index: int, line_bytes: int = 64) -> float:
+    """Price of one credit in ``bin_i``.
+
+    Base price is the bandwidth the credit stands for (bytes/cycle at the
+    bin's nominal spacing), scaled by the burst penalty.  Units are
+    "bandwidth-equivalents"; :func:`config_price` sums them and
+    :mod:`repro.cloud` converts to core-equivalents.
+    """
+    bandwidth = line_bytes / spec.center(index)
+    return bandwidth * burst_penalty(spec, index)
+
+
+def config_price(config: BinConfig, line_bytes: int = 64) -> float:
+    """Total price of an allocation on the *instantaneous* scale.
+
+    Sums :func:`credit_price` over the credits.  This is the relative
+    scale used for market reserve prices; for absolute perf/cost use
+    :func:`config_price_core_equivalents`, which prices the bandwidth the
+    allocation actually delivers per period.
+    """
+    return sum(n * credit_price(config.spec, i, line_bytes)
+               for i, n in enumerate(config.credits))
+
+
+def config_price_core_equivalents(config: BinConfig,
+                                  line_bytes: int = 64) -> float:
+    """Price in units of 'one core' via the 1.6 GB/s exchange rate.
+
+    What a customer actually receives from ``n_i`` credits is ``n_i``
+    transactions per replenishment period -- an average bandwidth of
+    ``n_i * line_bytes / T_r`` -- delivered at ``bin_i``'s instantaneous
+    rate.  The price is therefore the *delivered average bandwidth*
+    (converted to core-equivalents at 1.6 GB/s per core) scaled by the
+    Section IV-G1 burst penalty ``2 - t_i / t_N`` of the bin it sits in:
+    bursty bandwidth costs up to twice bulk bandwidth of the same average
+    rate.
+    """
+    total = config.total_credits
+    if total == 0:
+        return 0.0
+    period = config.replenish_period()
+    spec = config.spec
+    price = 0.0
+    for index, credits in enumerate(config.credits):
+        if credits == 0:
+            continue
+        avg_bandwidth = credits * line_bytes / period  # bytes/cycle
+        bytes_per_second = avg_bandwidth * CORE_CLOCK_HZ
+        price += (bytes_per_second / CORE_EQUIVALENT_BANDWIDTH
+                  * burst_penalty(spec, index))
+    return price
+
+
+def price_vector(spec: BinSpec, line_bytes: int = 64) -> Sequence[float]:
+    """Per-bin credit prices, cheapest last."""
+    return [credit_price(spec, i, line_bytes) for i in range(spec.num_bins)]

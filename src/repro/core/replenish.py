@@ -1,0 +1,123 @@
+"""Credit replenishment policies.
+
+The paper's hardware uses *reset-based* replenishment (Algorithm 1): a
+register holds the period ``T_r``, a counter ``T_c`` counts it down, and at
+each boundary every ``n_i`` is reset to ``K_i``.  A rate-based drip variant
+is provided as an ablation (DESIGN.md item 2): it divides the period into
+slices and tops bins up incrementally, trading burst capacity for
+smoothness the way a token bucket with a small bucket would.
+
+Policies are applied *lazily*: the simulator calls ``apply_until(state,
+now)`` before reading credit counters, and ``next_boundary()`` to know when
+a stalled request might become issuable again.
+"""
+
+from __future__ import annotations
+
+from .bins import BinConfig
+from .credits import CreditState
+
+
+class ReplenishPolicy:
+    """Base class: owns the period bookkeeping.
+
+    ``phase`` offsets the first boundary backwards (modulo the period) so
+    that co-running shapers do not replenish in lockstep -- synchronized
+    boundaries make every core spend its burst credits at the same instant,
+    the short-term congestion Section III-C discusses.
+    """
+
+    def __init__(self, config: BinConfig, period: int = None,
+                 phase: int = 0) -> None:
+        self.period = period if period is not None else config.replenish_period()
+        if self.period < 1:
+            raise ValueError("replenishment period must be >= 1 cycle")
+        self._next = self.period - (phase % self.period)
+
+    def next_boundary(self) -> int:
+        """Cycle of the next replenishment event."""
+        return self._next
+
+    def reset_clock(self, now: int) -> None:
+        """Restart the period from ``now`` (used on reconfiguration)."""
+        self._next = now + self.period
+
+    def apply_until(self, state: CreditState, now: int) -> None:
+        """Apply all replenishment boundaries at or before ``now``."""
+        raise NotImplementedError
+
+    def clone(self) -> "ReplenishPolicy":
+        """Independent copy with identical clock state.
+
+        The shaper probes future release times on cloned policy + credit
+        state so speculation never perturbs the live clock.
+        """
+        raise NotImplementedError
+
+
+class ResetReplenisher(ReplenishPolicy):
+    """Algorithm 1: at each period boundary reset all ``n_i`` to ``K_i``.
+
+    Because a reset is idempotent, crossing several boundaries at once
+    collapses into a single reset; only the clock needs to catch up.
+    """
+
+    def apply_until(self, state: CreditState, now: int) -> None:
+        if now < self._next:
+            return
+        state.replenish()
+        periods_crossed = (now - self._next) // self.period + 1
+        self._next += periods_crossed * self.period
+
+    def clone(self) -> "ResetReplenisher":
+        copy = ResetReplenisher.__new__(ResetReplenisher)
+        copy.period = self.period
+        copy._next = self._next
+        return copy
+
+
+class RateReplenisher(ReplenishPolicy):
+    """Drip credits in ``slices`` installments across the period.
+
+    Budget-neutral with the reset policy: each period adds exactly ``K_i``
+    credits to ``bin_i``, spread across the slices by a largest-remainder
+    schedule (slice ``s`` adds ``K_i*(s+1)//slices - K_i*s//slices``).
+    Counters still saturate at ``K_i``, so unspent installments are lost --
+    that loss of banked burst capacity is precisely the tradeoff against
+    Algorithm 1's reset.
+    """
+
+    def __init__(self, config: BinConfig, period: int = None,
+                 slices: int = 8, phase: int = 0) -> None:
+        super().__init__(config, period)
+        if slices < 1:
+            raise ValueError("slices must be >= 1")
+        self.slices = slices
+        self._slice_period = max(1, self.period // slices)
+        self._next = self._slice_period - (phase % self._slice_period)
+        self._slice_index = 0
+
+    def reset_clock(self, now: int) -> None:
+        self._next = now + self._slice_period
+        self._slice_index = 0
+
+    def apply_until(self, state: CreditState, now: int) -> None:
+        while self._next <= now:
+            limits = state.config.credits
+            s = self._slice_index
+            for index, limit in enumerate(limits):
+                installment = (limit * (s + 1) // self.slices
+                               - limit * s // self.slices)
+                state.counts[index] = min(limit,
+                                          state.counts[index] + installment)
+            self._slice_index = (s + 1) % self.slices
+            self._next += self._slice_period
+
+    def clone(self) -> "RateReplenisher":
+        copy = RateReplenisher.__new__(RateReplenisher)
+        copy.period = self.period
+        copy.slices = self.slices
+        copy._slice_period = self._slice_period
+        copy._next = self._next
+        copy._slice_index = self._slice_index
+        return copy

@@ -1,0 +1,15 @@
+"""DRAM substrate: DDR3-style request-level timing model (DRAMSim2-lite)."""
+
+from .address_map import AddressMapper, DramCoordinates
+from .bank import Bank
+from .device import DramDevice
+from .timing import DDR3_1333, DramTiming
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "DDR3_1333",
+    "DramCoordinates",
+    "DramDevice",
+    "DramTiming",
+]

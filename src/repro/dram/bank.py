@@ -1,0 +1,77 @@
+"""Per-bank DRAM state: open row tracking and ready-time bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .timing import DramTiming
+
+
+@dataclass
+class Bank:
+    """One DRAM bank's row-buffer state machine.
+
+    The bank is modelled with two pieces of state: the currently open row
+    (or ``None`` after a precharge) and the cycle at which the bank can
+    accept its next column command.  Row hit/closed/conflict latencies come
+    from :class:`~repro.dram.timing.DramTiming`.
+    """
+
+    timing: DramTiming
+    open_row: Optional[int] = None
+    ready_cycle: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    #: cycle of the last activate, to honour the tRC window
+    last_activate: int = field(default=-(10 ** 9))
+
+    def classify(self, row: int) -> str:
+        """Would an access to ``row`` be a ``hit``/``closed``/``conflict``?"""
+        if self.open_row is None:
+            return "closed"
+        if self.open_row == row:
+            return "hit"
+        return "conflict"
+
+    def access(self, row: int, now: int, is_write: bool = False) -> int:
+        """Perform an access to ``row`` starting no earlier than ``now``.
+
+        Returns the cycle at which the data burst completes.  Updates the
+        open row and the bank's ready time.  Successive column commands to
+        an open row pipeline at the burst rate (tCCD ~= tBL), so the bank
+        becomes ready for the *next* command well before this access's data
+        has returned -- this is what lets streaming traffic approach the
+        bus's peak bandwidth.  The caller (the DRAM device) serialises data
+        bursts on the shared channel bus.
+        """
+        start = max(now, self.ready_cycle)
+        kind = self.classify(row)
+        if kind == "hit":
+            latency = self.timing.row_hit_latency
+            next_ready = start + self.timing.t_bl
+            self.row_hits += 1
+        elif kind == "closed":
+            start = max(start, self.last_activate + self.timing.t_rc)
+            latency = self.timing.row_closed_latency
+            next_ready = start + self.timing.t_rcd + self.timing.t_bl
+            self.last_activate = start
+            self.row_misses += 1
+        else:  # conflict: precharge, then activate
+            start = max(start, self.last_activate + self.timing.t_rc)
+            latency = self.timing.row_conflict_latency
+            next_ready = start + self.timing.t_rp + self.timing.t_rcd \
+                + self.timing.t_bl
+            self.last_activate = start + self.timing.t_rp
+            self.row_misses += 1
+        done = start + latency
+        self.open_row = row
+        recovery = self.timing.t_wr if is_write else 0
+        self.ready_cycle = next_ready + recovery
+        return done
+
+    def refresh(self, now: int) -> None:
+        """Apply a refresh: closes the row and blocks the bank for tRFC."""
+        start = max(now, self.ready_cycle)
+        self.open_row = None
+        self.ready_cycle = start + self.timing.t_rfc

@@ -1,0 +1,71 @@
+"""The DRAM device: banks behind a shared per-channel data bus.
+
+This is the DRAMSim2 substitute.  It is request-level rather than
+command-level: given a request and the current cycle it computes the cycle
+at which the data burst finishes, honouring per-bank row-buffer state, the
+tRC activate window, write recovery, data-bus serialisation, and periodic
+refresh.  That is the level of fidelity MITTS and the comparator schedulers
+actually exercise -- they reorder and throttle *requests*, not DDR commands.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .address_map import AddressMapper
+from .bank import Bank
+from .timing import DramTiming
+
+
+class DramDevice:
+    """Request-level DRAM model with banked row buffers."""
+
+    def __init__(self, timing: DramTiming,
+                 mapping_scheme: str = "row") -> None:
+        self.timing = timing
+        self.mapper = AddressMapper(timing, scheme=mapping_scheme)
+        self.banks: List[Bank] = [Bank(timing) for _ in range(timing.total_banks)]
+        #: per-channel cycle at which the data bus is next free
+        self.bus_free: List[int] = [0] * timing.channels
+        self._next_refresh = timing.t_refi if timing.refresh_enabled else None
+        self._refresh_bank = 0
+
+    def _maybe_refresh(self, now: int) -> None:
+        """Round-robin per-bank refresh, one bank per tREFI/banks slot."""
+        if self._next_refresh is None:
+            return
+        while now >= self._next_refresh:
+            bank = self.banks[self._refresh_bank % len(self.banks)]
+            bank.refresh(self._next_refresh)
+            self._refresh_bank += 1
+            self._next_refresh += max(1, self.timing.t_refi // len(self.banks))
+
+    def would_row_hit(self, address: int) -> bool:
+        """True if ``address`` would hit the currently open row of its bank."""
+        coords = self.mapper.map(address)
+        bank = self.banks[self.mapper.bank_index(address)]
+        return bank.classify(coords.row) == "hit"
+
+    def bank_ready_cycle(self, address: int) -> int:
+        """Cycle at which the bank owning ``address`` can start a command."""
+        return self.banks[self.mapper.bank_index(address)].ready_cycle
+
+    def service(self, address: int, now: int, is_write: bool = False) -> int:
+        """Service one cache-line request; returns the data-complete cycle."""
+        self._maybe_refresh(now)
+        coords = self.mapper.map(address)
+        bank = self.banks[self.mapper.bank_index(address)]
+        done = bank.access(coords.row, now, is_write=is_write)
+        # Serialise the data burst on the channel bus.
+        bus_start = max(done - self.timing.t_bl, self.bus_free[coords.channel])
+        done = bus_start + self.timing.t_bl
+        self.bus_free[coords.channel] = done
+        return done
+
+    @property
+    def row_hits(self) -> int:
+        return sum(bank.row_hits for bank in self.banks)
+
+    @property
+    def row_misses(self) -> int:
+        return sum(bank.row_misses for bank in self.banks)

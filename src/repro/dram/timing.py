@@ -1,0 +1,83 @@
+"""DDR3 timing parameters converted to CPU cycles.
+
+The paper's Table II specifies a 2.4 GHz core and DDR3-1333 memory with one
+channel, one rank and eight banks per rank.  DDR3-1333 has a 666.67 MHz
+memory clock, so one memory clock is 3.6 CPU cycles; all JEDEC parameters
+below are the standard DDR3-1333H values (in memory clocks) pre-multiplied
+into integer CPU cycles.
+
+Only the parameters that matter for request-level contention are modelled:
+row activate (tRCD), precharge (tRP), CAS latency (tCL), burst transfer
+(tBL), and the activate-to-activate (tRC) window.  Refresh is modelled as a
+periodic bank-unavailable window so long runs see its throughput tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: CPU cycles per DDR3-1333 memory clock at a 2.4 GHz core.
+CPU_CYCLES_PER_MEM_CLOCK = 3.6
+
+
+def _mem_clocks(n: float) -> int:
+    """Convert memory clocks to (rounded) CPU cycles."""
+    return max(1, round(n * CPU_CYCLES_PER_MEM_CLOCK))
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DRAM timing in CPU cycles plus geometry, Table II defaults."""
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    row_buffer_bytes: int = 8192
+    line_bytes: int = 64
+
+    #: ACT -> READ/WRITE (tRCD), DDR3-1333H: 9 memory clocks
+    t_rcd: int = _mem_clocks(9)
+    #: PRE -> ACT (tRP): 9 memory clocks
+    t_rp: int = _mem_clocks(9)
+    #: READ -> first data (tCL): 9 memory clocks
+    t_cl: int = _mem_clocks(9)
+    #: data burst on the bus (BL8 = 4 memory clocks)
+    t_bl: int = _mem_clocks(4)
+    #: ACT -> ACT same bank (tRC): 33 memory clocks
+    t_rc: int = _mem_clocks(33)
+    #: write recovery added to write row cycles (tWR): 10 memory clocks
+    t_wr: int = _mem_clocks(10)
+    #: refresh command duration (tRFC): 107 memory clocks at 2Gb
+    t_rfc: int = _mem_clocks(107)
+    #: average refresh interval (tREFI): 7.8 us = 5200 memory clocks
+    t_refi: int = _mem_clocks(5200)
+    #: whether periodic refresh is simulated
+    refresh_enabled: bool = True
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Latency of a read that hits the open row."""
+        return self.t_cl + self.t_bl
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Latency of a read to a bank with no open row."""
+        return self.t_rcd + self.t_cl + self.t_bl
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Latency of a read that must close another row first."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_bl
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        """Data-bus peak: one cache line per tBL per channel."""
+        return self.channels * self.line_bytes / self.t_bl
+
+
+#: Table II configuration: DDR3-1333, 1 channel, 1 rank, 8 banks, 8KB rows.
+DDR3_1333 = DramTiming()

@@ -1,0 +1,65 @@
+"""Experiment harness: one module per paper figure/table plus ablations.
+
+``REGISTRY`` maps experiment ids to their ``run`` callables; every run
+accepts ``scale`` ("smoke"/"small"/"paper") and ``seed`` and returns a
+:class:`~repro.experiments.common.Result`.
+"""
+
+from . import ablations
+from .common import Result, SCALES, Scale, get_scale
+from .fig02_distributions import run as run_fig02
+from .fig11_static_comparison import run as run_fig11
+from .fig12_four_program import run as run_fig12
+from .fig13_eight_program import run as run_fig13
+from .fig14_hybrid import run as run_fig14
+from .fig15_large_llc import run as run_fig15
+from .fig16_isolation import run as run_fig16
+from .fig17_bin_configs import run as run_fig17
+from .fig18_perf_cost import run as run_fig18
+from .sec4h_threaded import run as run_sec4h
+from .sec4i_bin_count import run as run_sec4i
+from .table_hw_cost import run as run_hw_cost
+
+REGISTRY = {
+    "fig02": run_fig02,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "sec4h": run_sec4h,
+    "sec4i": run_sec4i,
+    "hw_cost": run_hw_cost,
+    "ablation_methods": ablations.run_methods,
+    "ablation_replenish": ablations.run_replenish,
+    "ablation_fifo": ablations.run_fifo,
+    "ablation_optimizer": ablations.run_optimizer,
+    "ablation_bin_length": ablations.run_bin_length,
+    "ablation_congestion": ablations.run_congestion,
+    "ablation_addrmap": ablations.run_addrmap,
+    "ablation_profiling": ablations.run_profiling,
+    "ablation_core_model": ablations.run_core_model,
+}
+
+
+def run_experiment(name: str, scale="smoke", seed: int = 1) -> Result:
+    """Run one registered experiment by id."""
+    try:
+        runner = REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {sorted(REGISTRY)}") from None
+    return runner(scale=scale, seed=seed)
+
+
+__all__ = [
+    "REGISTRY",
+    "Result",
+    "SCALES",
+    "Scale",
+    "get_scale",
+    "run_experiment",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig12
+    python -m repro.experiments fig12 fig13 --scale small --seed 3
+    python -m repro.experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate MITTS (ISCA 2016) tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (see --list)")
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "small", "paper"],
+                        help="effort preset (default: smoke)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered experiment")
+    parser.add_argument("--save-dir", default=None,
+                        help="also save each result as JSON into this "
+                             "directory")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+
+    names = sorted(REGISTRY) if args.all else args.experiments
+    if not names:
+        parser.error("no experiments given (use --all or --list)")
+
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; "
+                     f"known: {sorted(REGISTRY)}")
+
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(f"=== {name} ({args.scale}, seed {args.seed}, "
+              f"{elapsed:.1f}s)")
+        print(result.render())
+        print()
+        if args.save_dir:
+            from .store import save_result
+
+            save_result(result, f"{args.save_dir}/{name}.json",
+                        metadata={"scale": args.scale, "seed": args.seed,
+                                  "elapsed_seconds": elapsed})
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Shared experiment harness: scales, scheduler registry, run helpers.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> Result``.
+The ``scale`` knob (DESIGN.md section 6) trades fidelity for wall-clock:
+
+* ``smoke``  -- seconds per experiment; used by the benchmark suite and CI.
+* ``small``  -- minutes; tighter GA budgets and longer ROIs.
+* ``paper``  -- the paper's parameters (20x30 GA, multi-million-cycle
+  ROIs); hours in pure Python, provided for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.bins import BinSpec
+from ..core.shaper import MittsShaper
+from ..metrics.report import format_table
+from ..sched.base import FrFcfsScheduler
+from ..sched.fairqueue import FairQueueScheduler
+from ..sched.fst import FstController
+from ..sched.memguard import MemGuardScheduler
+from ..sched.mise import MiseScheduler
+from ..sched.tcm import TcmScheduler
+from ..sim.system import (SCALED_LARGE_LLC_CONFIG, SCALED_MULTI_CONFIG,
+                          SCALED_SINGLE_CONFIG, SimSystem, SystemConfig)
+from ..tuning.ga import GaParams, GaResult, GeneticAlgorithm
+from ..tuning.genome import Genome, seed_genomes
+from ..tuning.objectives import FitnessEvaluator, resolve_objective
+from ..workloads.benchmarks import trace_for
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Effort preset for one experiment run."""
+
+    name: str
+    run_cycles: int
+    ga_generations: int
+    ga_population: int
+    online_epoch: int
+    online_generations: int
+    online_population: int
+    #: benchmarks used by per-benchmark sweeps (None = the full suite)
+    benchmark_subset: Optional[Tuple[str, ...]] = None
+    #: credit ladder cap for static-configuration searches
+    static_search_credits: int = 32
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(name="smoke", run_cycles=60_000,
+                   ga_generations=3, ga_population=6,
+                   online_epoch=2_000, online_generations=2,
+                   online_population=4,
+                   benchmark_subset=("mcf", "libquantum", "omnetpp",
+                                     "bzip", "sjeng", "apache"),
+                   static_search_credits=16),
+    "small": Scale(name="small", run_cycles=100_000,
+                   ga_generations=6, ga_population=10,
+                   online_epoch=4_000, online_generations=3,
+                   online_population=6),
+    "paper": Scale(name="paper", run_cycles=5_000_000,
+                   ga_generations=20, ga_population=30,
+                   online_epoch=20_000, online_generations=20,
+                   online_population=30),
+}
+
+
+def get_scale(scale) -> Scale:
+    """Accept a Scale or a scale name."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}"
+                       ) from None
+
+
+@dataclass
+class Result:
+    """One experiment's output: a titled table plus free-form notes."""
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: key findings as name -> value, for tests and EXPERIMENTS.md
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        if self.summary:
+            text += "\n" + "\n".join(f"{key} = {value:.4f}"
+                                     for key, value in self.summary.items())
+        return text
+
+
+# ---------------------------------------------------------------------------
+# scheduler registry (the Figure 12/13 comparison set)
+
+def conventional_schedulers() -> Dict[str, Callable[[int], object]]:
+    """Name -> factory for the Section IV-D comparators (FST is special:
+    it is a source-side controller layered on FR-FCFS, see run_scheduler)."""
+    return {
+        "FR-FCFS": FrFcfsScheduler,
+        "FairQueue": FairQueueScheduler,
+        "TCM": TcmScheduler,
+        "FST": FrFcfsScheduler,
+        "MemGuard": MemGuardScheduler,
+        "MISE": MiseScheduler,
+    }
+
+
+def run_scheduler(name: str, traces: Sequence, config: SystemConfig,
+                  cycles: int):
+    """Run a mix under one conventional scheduler; returns SystemStats."""
+    factories = conventional_schedulers()
+    if name not in factories:
+        raise KeyError(f"unknown scheduler {name!r}")
+    scheduler = factories[name](len(traces))
+    system = SimSystem(traces, config=config, scheduler=scheduler)
+    if name == "FST":
+        FstController(system)
+    return system.run(cycles)
+
+
+# ---------------------------------------------------------------------------
+# run helpers
+
+def measure_alone(traces: Sequence, config: SystemConfig,
+                  cycles: int) -> List[float]:
+    """Per-program work running alone on the same system configuration."""
+    work = []
+    for trace in traces:
+        system = SimSystem([trace], config=config,
+                           scheduler=FrFcfsScheduler(1))
+        stats = system.run(cycles)
+        work.append(float(stats.cores[0].work_cycles))
+    return work
+
+
+def slowdowns_against(alone: Sequence[float], stats) -> List[float]:
+    """Per-program ``T_shared/T_single`` slowdowns from a shared run."""
+    return [a / max(core.work_cycles, 1e-9)
+            for a, core in zip(alone, stats.cores)]
+
+
+def targeted_seeds(evaluator: FitnessEvaluator, spec: BinSpec) -> List:
+    """Asymmetric seed genomes built from baseline unshaped slowdowns.
+
+    Runs one unshaped simulation, ranks programs by slowdown, and builds
+    "protect the victims" genomes: the most-slowed programs keep a
+    generous allocation while the least-slowed (the interference sources
+    with slack) are capped.  This is the shape the fairness optimum takes
+    and it is hard for a small random population to stumble into.
+    """
+    from ..core.bins import BinConfig
+
+    num_cores = len(evaluator.traces)
+    unlimited = [BinConfig.unlimited(spec)] * num_cores
+    stats = evaluator.run_genome(unlimited)
+    slowdowns = evaluator.slowdowns(stats)
+    order = sorted(range(num_cores), key=lambda c: slowdowns[c])
+    generous = BinConfig.single_bin(0, 64, spec)
+    if spec.num_bins == 10:
+        # A few burst credits, bulk pushed to the slow tail.
+        capped = BinConfig.from_credits([4, 1, 1, 0, 0, 0, 0, 0, 0, 12],
+                                        spec=spec)
+    else:
+        capped = BinConfig.single_bin(spec.num_bins - 1, 8, spec)
+    seeds = []
+    cap_counts = {num_cores // 2, max(1, num_cores // 4),
+                  max(1, num_cores - 1)}
+    for cap_count in sorted(cap_counts):
+        genome = [generous] * num_cores
+        for core in order[:cap_count]:
+            genome[core] = capped
+        seeds.append(genome)
+    return seeds
+
+
+def mix_bin_spec(num_cores: int) -> BinSpec:
+    """Bin geometry for a ``num_cores``-program mix.
+
+    The slowest expressible per-core rate is ``1 / t_N``; with many cores
+    their sum must be able to drop below the channel's effective capacity
+    or no configuration can relieve contention.  Following Section
+    III-B1's prescription ("MITTS can be modified by increasing L"), the
+    interval length grows with the core count: L=10 up to four programs,
+    L=24 for eight.
+    """
+    if num_cores <= 4:
+        return BinSpec()
+    return BinSpec(interval_length=24)
+
+
+def optimize_mitts(traces: Sequence, config: SystemConfig, cycles: int,
+                   objective, scale: Scale, seed: int = 42,
+                   alone_work: Optional[List[float]] = None,
+                   scheduler_factory: Callable[[int], object] = None,
+                   repair=None,
+                   shaper_method: int = MittsShaper.METHOD_DEDUCT_REFUND,
+                   spec: BinSpec = None
+                   ) -> Tuple[GaResult, FitnessEvaluator]:
+    """Offline-GA search of per-core bin configurations for a mix."""
+    if scheduler_factory is None:
+        scheduler_factory = FrFcfsScheduler
+    evaluator = FitnessEvaluator(
+        traces=traces, system_config=config, run_cycles=cycles,
+        objective=resolve_objective(objective),
+        scheduler_factory=scheduler_factory,
+        shaper_method=shaper_method)
+    if alone_work is not None:
+        evaluator.alone_work = list(alone_work)
+    else:
+        evaluator.measure_alone()
+    if spec is None:
+        spec = mix_bin_spec(len(traces))
+    params = GaParams(generations=scale.ga_generations,
+                      population=scale.ga_population, seed=seed)
+    seeds = seed_genomes(spec, len(traces)) \
+        + targeted_seeds(evaluator, spec)
+    ga = GeneticAlgorithm(evaluator, spec, len(traces), params,
+                          repair=repair, seed_genomes=seeds)
+    return ga.run(), evaluator
+
+
+def benchmarks_for(scale: Scale, full_suite: Sequence[str]) -> List[str]:
+    """The benchmark list a per-benchmark sweep should use at this scale."""
+    if scale.benchmark_subset is None:
+        return list(full_suite)
+    return [name for name in scale.benchmark_subset if name in full_suite] \
+        or list(full_suite)
+
+
+__all__ = [
+    "Result",
+    "SCALED_LARGE_LLC_CONFIG",
+    "SCALED_MULTI_CONFIG",
+    "SCALED_SINGLE_CONFIG",
+    "SCALES",
+    "Scale",
+    "benchmarks_for",
+    "conventional_schedulers",
+    "get_scale",
+    "measure_alone",
+    "optimize_mitts",
+    "run_scheduler",
+    "slowdowns_against",
+    "trace_for",
+]

@@ -1,0 +1,106 @@
+"""Figures 12 (and 13 via the eight-program module): throughput/fairness
+of MITTS vs conventional memory schedulers on the Table III mixes.
+
+For each workload, every conventional scheduler (FR-FCFS, FairQueue, TCM,
+FST, MemGuard, MISE) runs the mix; MITTS runs with per-core bin
+configurations found by the offline GA, optimised separately for
+throughput (min S_avg) and fairness (min S_max), plus the online-GA
+variant.  Lower S_avg / S_max is better.  The paper's headline: MITTS
+improves 4-program throughput/fairness by 11%/17% (wl 1), 16%/40% (wl 2),
+17%/52% (wl 3) over the best conventional scheduler, with the online GA a
+little worse than offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sched.base import FrFcfsScheduler
+from ..sim.system import SimSystem, SystemConfig
+from ..tuning.online import OnlineGaTuner
+from ..workloads.mixes import workload_traces
+from .common import (Result, SCALED_MULTI_CONFIG, conventional_schedulers,
+                     get_scale, measure_alone, mix_bin_spec, optimize_mitts,
+                     run_scheduler, slowdowns_against)
+
+
+def evaluate_workload(workload_id: int, scale, seed: int,
+                      config: SystemConfig = None,
+                      schedulers: Sequence[str] = None,
+                      include_online: bool = True) -> Dict[str, tuple]:
+    """All (S_avg, S_max) pairs for one Table III workload.
+
+    Returns an ordered mapping: each conventional scheduler, then
+    "MITTS-perf", "MITTS-fair", and optionally "MITTS-online".
+    """
+    scale = get_scale(scale)
+    config = config or SCALED_MULTI_CONFIG
+    traces = workload_traces(workload_id, seed=seed)
+    cycles = scale.run_cycles
+    alone = measure_alone(traces, config, cycles)
+    outcome: Dict[str, tuple] = {}
+
+    names = list(schedulers) if schedulers is not None \
+        else list(conventional_schedulers())
+    for name in names:
+        stats = run_scheduler(name, traces, config, cycles)
+        slowdowns = slowdowns_against(alone, stats)
+        outcome[name] = (sum(slowdowns) / len(slowdowns), max(slowdowns))
+
+    for label, objective in (("MITTS-perf", "throughput"),
+                             ("MITTS-fair", "fairness")):
+        ga_result, evaluator = optimize_mitts(
+            traces, config, cycles, objective, scale, seed=seed,
+            alone_work=alone)
+        stats = evaluator.run_genome(ga_result.best_genome)
+        slowdowns = slowdowns_against(alone, stats)
+        outcome[label] = (sum(slowdowns) / len(slowdowns), max(slowdowns))
+
+    if include_online:
+        system = SimSystem(traces, config=config,
+                           scheduler=FrFcfsScheduler(len(traces)))
+        OnlineGaTuner(system, spec=mix_bin_spec(len(traces)),
+                      objective="throughput",
+                      generations=scale.online_generations,
+                      population=scale.online_population,
+                      epoch=scale.online_epoch, seed=seed)
+        stats = system.run(cycles)
+        slowdowns = slowdowns_against(alone, stats)
+        outcome["MITTS-online"] = (sum(slowdowns) / len(slowdowns),
+                                   max(slowdowns))
+    return outcome
+
+
+def summarize(result: Result, workload_id: int,
+              outcome: Dict[str, tuple]) -> None:
+    """Append rows and best-vs-MITTS summary entries for one workload."""
+    conventional = {name: pair for name, pair in outcome.items()
+                    if not name.startswith("MITTS")}
+    best_savg = min(pair[0] for pair in conventional.values())
+    best_smax = min(pair[1] for pair in conventional.values())
+    for name, (savg, smax) in outcome.items():
+        result.rows.append([f"wl{workload_id}", name, savg, smax])
+    result.summary[f"wl{workload_id}_throughput_gain"] = \
+        best_savg / outcome["MITTS-perf"][0]
+    result.summary[f"wl{workload_id}_fairness_gain"] = \
+        best_smax / outcome["MITTS-fair"][1]
+
+
+def run(scale="smoke", seed: int = 1,
+        workloads: Sequence[int] = (1, 2, 3)) -> Result:
+    scale = get_scale(scale)
+    result = Result(
+        experiment="fig12",
+        title="Figure 12: four-program throughput (S_avg) and fairness "
+              "(S_max) comparison (lower is better)",
+        headers=["workload", "policy", "S_avg", "S_max"])
+    for workload_id in workloads:
+        outcome = evaluate_workload(workload_id, scale, seed)
+        summarize(result, workload_id, outcome)
+    result.notes.append("paper: MITTS beats the best conventional "
+                        "scheduler by 11-17% throughput / 17-52% fairness")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

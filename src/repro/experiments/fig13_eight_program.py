@@ -1,0 +1,35 @@
+"""Figure 13: eight-program throughput/fairness comparison (workloads 4-6).
+
+Identical methodology to Figure 12 at twice the core count, where the
+central transaction queue saturates and source control pays off most
+(Section IV-D advantage 2).  Paper: MITTS improves throughput/fairness by
+11%/30% (wl 4), 12%/24% (wl 5), 4%/32% (wl 6) over the best conventional
+scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import Result, get_scale
+from .fig12_four_program import evaluate_workload, summarize
+
+
+def run(scale="smoke", seed: int = 1,
+        workloads: Sequence[int] = (4, 5, 6)) -> Result:
+    scale = get_scale(scale)
+    result = Result(
+        experiment="fig13",
+        title="Figure 13: eight-program throughput (S_avg) and fairness "
+              "(S_max) comparison (lower is better)",
+        headers=["workload", "policy", "S_avg", "S_max"])
+    for workload_id in workloads:
+        outcome = evaluate_workload(workload_id, scale, seed)
+        summarize(result, workload_id, outcome)
+    result.notes.append("paper: MITTS beats the best conventional "
+                        "scheduler by 4-12% throughput / 24-32% fairness")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

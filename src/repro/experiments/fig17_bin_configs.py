@@ -1,0 +1,76 @@
+"""Figure 17: optimal per-application bin configurations for perf/cost.
+
+For each benchmark, the GA optimises a single program's bin configuration
+for performance-per-cost under the Section IV-G1 pricing (credit price
+proportional to bandwidth, high-rate credits penalised by ``2 - t_i/t_N``).
+The paper's qualitative findings, which this experiment's summary checks:
+memory-intensive applications (mcf) buy many fast-bin credits and large
+totals; less intensive applications (sjeng, bzip) buy few fast credits;
+PARSEC buys less than SPEC overall.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+from ..core.bins import BinConfig, BinSpec
+from ..tuning.ga import GaParams, GeneticAlgorithm
+from ..tuning.genome import seed_genomes
+from ..tuning.objectives import FitnessEvaluator, perf_per_cost_objective
+from ..workloads.benchmarks import (PARSEC_BENCHMARKS, SPEC_BENCHMARKS,
+                                    trace_for)
+from .common import (Result, SCALED_SINGLE_CONFIG, benchmarks_for,
+                     get_scale)
+
+FULL_SUITE = tuple(SPEC_BENCHMARKS) + ("apache", "bhm_mail") \
+    + tuple(PARSEC_BENCHMARKS)
+
+
+def optimal_config(benchmark: str, cycles: int, scale,
+                   seed: int) -> BinConfig:
+    """Best perf/cost bin configuration for one benchmark."""
+    spec = BinSpec()
+    evaluator = FitnessEvaluator(
+        traces=[trace_for(benchmark, seed=seed)],
+        system_config=SCALED_SINGLE_CONFIG, run_cycles=cycles,
+        objective=perf_per_cost_objective)
+    # Per-benchmark RNG stream: otherwise every benchmark's search walks
+    # the identical random population and converges to the same shape.
+    bench_seed = seed + zlib.crc32(benchmark.encode("utf-8")) % 10_000
+    params = GaParams(generations=scale.ga_generations,
+                      population=scale.ga_population, seed=bench_seed)
+    ga = GeneticAlgorithm(evaluator, spec, 1, params,
+                          seed_genomes=seed_genomes(spec, 1))
+    return ga.run().best_genome[0]
+
+
+def run(scale="smoke", seed: int = 1) -> Result:
+    scale = get_scale(scale)
+    result = Result(
+        experiment="fig17",
+        title="Figure 17: optimal bin configurations for performance/cost",
+        headers=["benchmark", "credits per bin (fast -> slow)", "total"])
+    configs: Dict[str, BinConfig] = {}
+    for benchmark in benchmarks_for(scale, FULL_SUITE):
+        config = optimal_config(benchmark, scale.run_cycles, scale, seed)
+        configs[benchmark] = config
+        result.rows.append([benchmark, str(config.as_list()),
+                            config.total_credits])
+    if "mcf" in configs and "sjeng" in configs:
+        result.summary["mcf_total_credits"] = \
+            float(configs["mcf"].total_credits)
+        result.summary["sjeng_total_credits"] = \
+            float(configs["sjeng"].total_credits)
+        result.summary["mcf_fast_credits"] = \
+            float(sum(configs["mcf"].credits[:3]))
+        result.summary["sjeng_fast_credits"] = \
+            float(sum(configs["sjeng"].credits[:3]))
+    result.notes.append("paper: memory-intensive apps (mcf) hold many "
+                        "high-rate credits; light apps (sjeng, bzip) few; "
+                        "PARSEC totals smaller than SPEC")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,91 @@
+"""Result persistence: save experiment outputs, reload them, diff runs.
+
+A reproduction is only useful if runs can be compared across code
+revisions, seeds, and scales.  ``save_result``/``load_result`` serialise
+:class:`~repro.experiments.common.Result` to JSON;
+``diff_summaries`` reports relative changes between two runs'
+summary metrics, which is what a regression check actually wants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .common import Result
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: Result, path: Union[str, Path],
+                metadata: Dict = None) -> Path:
+    """Write a result (plus optional run metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "result": asdict(result),
+        "metadata": dict(metadata or {}),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                    encoding="utf-8")
+    return path
+
+
+def load_result(path: Union[str, Path]) -> Result:
+    """Reload a result saved by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format {version!r}")
+    raw = payload["result"]
+    return Result(experiment=raw["experiment"], title=raw["title"],
+                  headers=raw["headers"], rows=raw["rows"],
+                  notes=raw["notes"], summary=raw["summary"])
+
+
+def load_metadata(path: Union[str, Path]) -> Dict:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return payload.get("metadata", {})
+
+
+def diff_summaries(before: Result, after: Result,
+                   tolerance: float = 0.02) -> List[Dict]:
+    """Relative summary-metric changes between two runs.
+
+    Returns one record per metric present in either run:
+    ``{"metric", "before", "after", "relative_change", "significant"}``.
+    ``significant`` flags changes beyond ``tolerance`` (and metrics that
+    appeared or disappeared).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    records: List[Dict] = []
+    keys = sorted(set(before.summary) | set(after.summary))
+    for key in keys:
+        old = before.summary.get(key)
+        new = after.summary.get(key)
+        if old is None or new is None:
+            records.append({"metric": key, "before": old, "after": new,
+                            "relative_change": None,
+                            "significant": True})
+            continue
+        base = max(abs(old), 1e-12)
+        change = (new - old) / base
+        records.append({"metric": key, "before": old, "after": new,
+                        "relative_change": change,
+                        "significant": abs(change) > tolerance})
+    return records
+
+
+def save_all(results: List[Result], directory: Union[str, Path],
+             metadata: Dict = None) -> List[Path]:
+    """Save a batch of results as ``<experiment>.json`` files."""
+    directory = Path(directory)
+    paths = []
+    for result in results:
+        paths.append(save_result(
+            result, directory / f"{result.experiment}.json", metadata))
+    return paths

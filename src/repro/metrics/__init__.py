@@ -1,0 +1,25 @@
+"""Metrics: slowdowns (S_avg/S_max), inter-arrival distributions, reports."""
+
+from .interarrival import InterarrivalDistribution
+from .report import format_bar_chart, format_series, format_table
+from .slowdown import (average_slowdown, geometric_mean,
+                       harmonic_mean_speedup, max_slowdown,
+                       mise_online_slowdown, slowdown_from_work,
+                       slowdowns_from_rates, unfairness,
+                       weighted_speedup)
+
+__all__ = [
+    "InterarrivalDistribution",
+    "average_slowdown",
+    "format_bar_chart",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean_speedup",
+    "max_slowdown",
+    "mise_online_slowdown",
+    "slowdown_from_work",
+    "slowdowns_from_rates",
+    "unfairness",
+    "weighted_speedup",
+]

@@ -1,0 +1,99 @@
+"""Inter-arrival time distributions (the object Figures 1 and 2 plot).
+
+A distribution is a histogram of the gaps between successive memory
+requests leaving one core, bucketed at the bin length ``L``.  The
+simulator's :class:`~repro.sim.stats.CoreStats` accumulates the histogram
+inline; this module wraps it with the summary measures the paper reasons
+about -- mean inter-arrival (average bandwidth) and burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.stats import CoreStats
+
+
+@dataclass
+class InterarrivalDistribution:
+    """Histogram of request inter-arrival times, bucket width ``L``."""
+
+    counts: Dict[int, int]
+    bucket_width: int = 10
+
+    @classmethod
+    def from_core_stats(cls, stats: CoreStats, bucket_width: int = 10,
+                        stream: str = "memory") -> "InterarrivalDistribution":
+        """Build from a core's histogram.
+
+        ``stream="memory"`` (default) uses the LLC-miss stream the paper's
+        figures plot; ``stream="shaper"`` uses the post-shaper L1-miss
+        stream the MITTS hardware itself observes.
+        """
+        if stream == "memory":
+            counts = dict(stats.mem_interarrival)
+        elif stream == "shaper":
+            counts = dict(stats.interarrival)
+        else:
+            raise ValueError(f"unknown stream {stream!r}")
+        return cls(counts=counts, bucket_width=bucket_width)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.counts.values())
+
+    def frequency(self, bucket: int) -> float:
+        """Fraction of requests in ``bucket`` (the Figure 1 y-axis)."""
+        total = self.total_requests
+        if total == 0:
+            return 0.0
+        return self.counts.get(bucket, 0) / total
+
+    def mean(self) -> float:
+        """Mean inter-arrival time (cycles), using bucket centres."""
+        total = self.total_requests
+        if total == 0:
+            return 0.0
+        weighted = sum((bucket + 0.5) * self.bucket_width * count
+                       for bucket, count in self.counts.items())
+        return weighted / total
+
+    def variance(self) -> float:
+        total = self.total_requests
+        if total == 0:
+            return 0.0
+        mean = self.mean()
+        return sum(count * ((bucket + 0.5) * self.bucket_width - mean) ** 2
+                   for bucket, count in self.counts.items()) / total
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of inter-arrival times.
+
+        0 for perfectly periodic traffic (Figure 1 top), ~1 for Poisson,
+        larger for bursty on/off traffic (Figure 1 middle/bottom).
+        """
+        mean = self.mean()
+        if mean == 0:
+            return 0.0
+        return self.variance() ** 0.5 / mean
+
+    def to_series(self, max_bucket: int = None) -> List[Tuple[int, int]]:
+        """(inter-arrival cycles, count) pairs sorted by inter-arrival.
+
+        This is exactly the series Figure 2 plots: number of requests vs.
+        inter-arrival time.
+        """
+        if max_bucket is None:
+            max_bucket = max(self.counts, default=0)
+        return [(bucket * self.bucket_width, self.counts.get(bucket, 0))
+                for bucket in range(max_bucket + 1)]
+
+    def truncated(self, max_bucket: int) -> "InterarrivalDistribution":
+        """Clamp buckets beyond ``max_bucket`` into it (hardware's last bin)."""
+        counts: Dict[int, int] = {}
+        for bucket, count in self.counts.items():
+            key = min(bucket, max_bucket)
+            counts[key] = counts.get(key, 0) + count
+        return InterarrivalDistribution(counts=counts,
+                                        bucket_width=self.bucket_width)

@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting for the experiment harness.
+
+Every experiment module renders its result through these helpers so the
+benchmark output visually matches the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = None, float_format: str = "{:.3f}") -> str:
+    """Render an aligned monospace table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series the way a figure's data table would read."""
+    lines = [f"{name}: {x_label} -> {y_label}"]
+    for x, y in points:
+        if isinstance(y, float):
+            lines.append(f"  {x}: {y:.4f}")
+        else:
+            lines.append(f"  {x}: {y}")
+    return "\n".join(lines)
+
+
+def format_bar_chart(name: str, labels: Sequence[str],
+                     values: Sequence[float], width: int = 40) -> str:
+    """ASCII bar chart, handy for eyeballing figure shapes in a terminal."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [name]
+    peak = max(values) if values else 1.0
+    peak = max(peak, 1e-9)
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"  {label.ljust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Slowdown, throughput and fairness metrics (Section IV-D).
+
+The paper measures multi-program quality with application slowdowns
+``T_shared / T_single``: the *average* slowdown ``S_avg`` is the throughput
+metric, the *maximum* slowdown ``S_max`` the fairness metric; lower is
+better for both.
+
+In this reproduction a program's runs are fixed-wall-clock, so the time
+ratio is computed from replayed-work rates: a program that retires half
+the work per cycle when shared would take twice as long to finish, i.e.
+``slowdown = work_alone / work_shared`` over the same window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def slowdown_from_work(alone_work: float, shared_work: float) -> float:
+    """``T_shared / T_single`` via work-rate inversion; floored at 1e-9 work."""
+    if alone_work < 0 or shared_work < 0:
+        raise ValueError("work amounts must be non-negative")
+    return alone_work / max(shared_work, 1e-9)
+
+
+def average_slowdown(slowdowns: Sequence[float]) -> float:
+    """``S_avg``: the paper's throughput measure (lower is better)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    return sum(slowdowns) / len(slowdowns)
+
+
+def max_slowdown(slowdowns: Sequence[float]) -> float:
+    """``S_max``: the paper's fairness measure (lower is better)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    return max(slowdowns)
+
+
+def unfairness(slowdowns: Sequence[float]) -> float:
+    """Max/min slowdown ratio (the FST control metric)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    return max(slowdowns) / max(min(slowdowns), 1e-9)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """GeoMean used for the per-benchmark gain summaries (Figs 11/18)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mise_online_slowdown(alone_service_rate: float,
+                         shared_service_rate: float,
+                         stall_fraction: float,
+                         alpha: float = 0.5) -> float:
+    """The paper's online slowdown estimate (Section IV-B).
+
+    ``slowdown = (1 - a) * (a * RSR_alone / RSR_shared) + a * stall_frac``
+    where ``RSR_alone`` is the request service rate measured while the
+    application had highest priority, ``RSR_shared`` the rate in shared
+    mode, and ``stall_frac`` the fraction of cycles spent stalled on memory
+    (the formula as printed in the paper, used by the online GA's fitness
+    measurement).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    if not 0.0 <= stall_fraction <= 1.0:
+        raise ValueError("stall_fraction must be in [0, 1]")
+    rate_ratio = alone_service_rate / max(shared_service_rate, 1e-9)
+    return (1 - alpha) * (alpha * rate_ratio) + alpha * stall_fraction
+
+
+def slowdowns_from_rates(alone_rates: Sequence[float],
+                         shared_rates: Sequence[float]) -> List[float]:
+    """Element-wise work-rate slowdowns for a whole mix."""
+    if len(alone_rates) != len(shared_rates):
+        raise ValueError("rate vectors must have equal length")
+    return [slowdown_from_work(alone, shared)
+            for alone, shared in zip(alone_rates, shared_rates)]
+
+
+def weighted_speedup(slowdowns: Sequence[float]) -> float:
+    """Sum of per-program speedups (1/slowdown): the standard system-
+    throughput metric of the multiprogram-scheduling literature.  Equals
+    the core count when nothing interferes; higher is better."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return sum(1.0 / s for s in slowdowns)
+
+
+def harmonic_mean_speedup(slowdowns: Sequence[float]) -> float:
+    """Harmonic mean of per-program speedups: balances throughput and
+    fairness in one number (higher is better)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return len(slowdowns) / sum(s for s in slowdowns)

@@ -1,0 +1,81 @@
+"""Common machinery for memory-controller scheduling policies.
+
+Every comparator from Section IV-D implements
+:class:`~repro.sim.memctrl.MemorySchedulerProtocol`; this module adds the
+bookkeeping they share -- per-core service counters and helper selection
+primitives (oldest request, row-hit preference).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.memctrl import MemoryController, MemorySchedulerProtocol
+from ..sim.request import MemoryRequest
+
+
+class MemoryScheduler(MemorySchedulerProtocol):
+    """Base scheduler with per-core serviced-request accounting."""
+
+    name = "base"
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        #: demand requests serviced per core over the whole run
+        self.serviced: List[int] = [0] * num_cores
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        if 0 <= request.core_id < self.num_cores:
+            self.serviced[request.core_id] += 1
+
+    # ------------------------------------------------------------------
+    # selection helpers
+
+    @staticmethod
+    def oldest(requests: List[MemoryRequest]) -> Optional[MemoryRequest]:
+        if not requests:
+            return None
+        return min(requests, key=lambda r: (r.mc_arrival_cycle, r.req_id))
+
+    @staticmethod
+    def row_hit_first(requests: List[MemoryRequest],
+                      controller: MemoryController
+                      ) -> Optional[MemoryRequest]:
+        """Oldest row-hitting request, else oldest overall (FR-FCFS order)."""
+        if not requests:
+            return None
+        hits = [r for r in requests
+                if controller.dram.would_row_hit(r.address)]
+        return MemoryScheduler.oldest(hits or requests)
+
+    def by_core(self, queue: List[MemoryRequest]) -> dict:
+        grouped: dict = {}
+        for request in queue:
+            grouped.setdefault(request.core_id, []).append(request)
+        return grouped
+
+
+class FcfsScheduler(MemoryScheduler):
+    """First-come first-served: the simplest (and least fair under row
+    locality) baseline."""
+
+    name = "FCFS"
+
+    def select(self, queue, now, controller):
+        return self.oldest(queue)
+
+
+class FrFcfsScheduler(MemoryScheduler):
+    """FR-FCFS [Rixner et al., ISCA 2000]: row hits first, then oldest.
+
+    Maximises DRAM throughput but "unfairly favors applications with higher
+    row-buffer hits or higher memory intensity" (Section V) -- the standard
+    unmanaged baseline of Figures 12/13.
+    """
+
+    name = "FR-FCFS"
+
+    def select(self, queue, now, controller):
+        return self.row_hit_first(queue, controller)

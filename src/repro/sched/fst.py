@@ -1,0 +1,109 @@
+"""Fairness via Source Throttling [Ebrahimi et al., ASPLOS 2010].
+
+FST is not a memory-controller policy: like MITTS it acts at the *source*,
+periodically estimating per-application slowdown and throttling the cores
+that cause interference.  The controller here installs a
+:class:`~repro.core.limiter.StaticLimiter` at every core and runs an epoch
+loop: estimate slowdowns from observed excess memory latency, compute
+system unfairness, then throttle the aggressor (the least-slowed, most
+request-intensive core) or gradually release throttles when the system is
+fair.  The paper's Section III-A comparison point: "Unlike FST, MITTS not
+only controls the rate ... but also controls the distribution of request
+inter-arrival times."
+
+Slowdown estimation substitutes the original's interference-cycle counting
+with excess-latency accounting (observed average request latency over the
+unloaded latency, scaled by the core's outstanding-miss parallelism); this
+preserves the control loop's inputs at request-level fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.limiter import StaticLimiter
+from ..sim.system import SimSystem
+
+
+class FstController:
+    """Source-throttling feedback controller attached to a SimSystem."""
+
+    def __init__(self, system: SimSystem, epoch: int = 10_000,
+                 unfairness_threshold: float = 1.08,
+                 throttle_step: float = 1.5,
+                 release_step: float = 0.9,
+                 max_interval: int = 500) -> None:
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if unfairness_threshold <= 1.0:
+            raise ValueError("unfairness threshold must exceed 1.0")
+        self.system = system
+        self.epoch = epoch
+        self.unfairness_threshold = unfairness_threshold
+        self.throttle_step = throttle_step
+        self.release_step = release_step
+        self.max_interval = max_interval
+        num_cores = len(system.cores)
+        self.limiters: List[StaticLimiter] = []
+        for core_id in range(num_cores):
+            limiter = StaticLimiter(0)
+            system.set_limiter(core_id, limiter)
+            self.limiters.append(limiter)
+        self._last_snapshot = [core.snapshot()
+                               for core in system.stats.cores]
+        self.slowdown_estimates: List[float] = [1.0] * num_cores
+        self.throttle_events = 0
+        system.every(epoch, self._tick)
+
+    def _unloaded_latency(self) -> float:
+        timing = self.system.config.timing
+        return (self.system.config.llc_hit_latency
+                + timing.row_closed_latency)
+
+    def _tick(self) -> None:
+        cores = self.system.stats.cores
+        baseline = self._unloaded_latency()
+        rates = []
+        for index, core in enumerate(cores):
+            snap = core.snapshot()
+            delta = {k: snap[k] - self._last_snapshot[index][k]
+                     for k in snap}
+            self._last_snapshot[index] = snap
+            requests = max(1, delta["dram_requests"])
+            avg_latency = delta["total_latency"] / requests
+            excess = max(0.0, avg_latency - baseline)
+            mlp = self.system.cores[index].mlp
+            # Interference cycles the core could not hide, per epoch cycle,
+            # plus the stall its own throttle imposed -- the latter is the
+            # negative feedback that stops FST from over-throttling.
+            interference = excess * delta["dram_requests"] / max(1, mlp)
+            throttle_stall = delta["shaper_stall_cycles"] / max(1, mlp)
+            self.slowdown_estimates[index] = \
+                1.0 + (interference + throttle_stall) / self.epoch
+            rates.append(delta["dram_requests"])
+
+        slowest = max(self.slowdown_estimates)
+        fastest = max(1.0, min(self.slowdown_estimates))
+        unfairness = slowest / fastest
+        if unfairness > self.unfairness_threshold:
+            self._throttle_aggressor(rates)
+        else:
+            self._release_all()
+        for port in self.system.ports:
+            port.kick()
+
+    def _throttle_aggressor(self, rates: List[float]) -> None:
+        """Throttle the least-slowed core with the highest request rate."""
+        candidates = sorted(
+            range(len(rates)),
+            key=lambda c: (self.slowdown_estimates[c], -rates[c]))
+        aggressor = candidates[0]
+        limiter = self.limiters[aggressor]
+        new_interval = max(1, int(max(limiter.interval, 8)
+                                  * self.throttle_step))
+        limiter.set_interval(min(self.max_interval, new_interval))
+        self.throttle_events += 1
+
+    def _release_all(self) -> None:
+        for limiter in self.limiters:
+            limiter.set_interval(int(limiter.interval * self.release_step))

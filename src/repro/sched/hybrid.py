@@ -1,0 +1,38 @@
+"""MITTS + MISE hybrid (Section IV-E).
+
+The hybrid combines per-core MITTS shapers at the source with MISE as the
+centralised memory-controller policy ("as MISE performed best on
+average").  There is no new mechanism -- the composition is the point: the
+shapers police each core's inter-arrival distribution before requests ever
+reach the controller, and MISE arbitrates among what remains.  The paper
+measures an additional ~4%/5% throughput/fairness gain over MITTS alone,
+implying "MITTS complements existing centralized controllers".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.bins import BinConfig
+from ..core.shaper import MittsShaper
+from .mise import MiseScheduler
+
+
+def build_hybrid(num_cores: int,
+                 bin_configs: Sequence[BinConfig],
+                 epoch: int = 10_000,
+                 interval: int = None):
+    """Construct the (scheduler, limiters) pair for a MITTS+MISE system.
+
+    Returns a :class:`~repro.sched.mise.MiseScheduler` and one
+    :class:`~repro.core.shaper.MittsShaper` per core, ready to pass to
+    :class:`~repro.sim.system.SimSystem`.
+    """
+    if len(bin_configs) != num_cores:
+        raise ValueError("one bin configuration per core is required")
+    scheduler = MiseScheduler(num_cores, epoch=epoch, interval=interval)
+    limiters: List[MittsShaper] = [
+        MittsShaper(config,
+                    phase=core_id * config.replenish_period() // num_cores)
+        for core_id, config in enumerate(bin_configs)]
+    return scheduler, limiters

@@ -1,0 +1,81 @@
+"""MemGuard [Yun/Caccamo et al., RTAS 2013]: bandwidth reservation.
+
+Memory bandwidth is split into a *guaranteed* part -- each core reserves a
+per-period request budget -- and a *best-effort* part.  Requests from cores
+within budget have strict priority; once a core exhausts its reservation
+its requests are served only when no reserved request is waiting (this is
+the reclaiming that keeps the reserved-but-unused bandwidth utilised).
+
+As Section V notes, MemGuard "does not account for system fairness as a
+demanding application can potentially get the most memory bandwidth" -- the
+best-effort pool is first-come-first-served, which the evaluation exposes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import MemoryScheduler
+
+
+class MemGuardScheduler(MemoryScheduler):
+    """Per-period guaranteed budgets with best-effort reclaiming."""
+
+    name = "MemGuard"
+
+    def __init__(self, num_cores: int, period: int = 10_000,
+                 budgets: List[int] = None,
+                 guaranteed_fraction: float = 0.5) -> None:
+        super().__init__(num_cores)
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0.0 < guaranteed_fraction <= 1.0:
+            raise ValueError("guaranteed_fraction must be in (0, 1]")
+        self.period = period
+        self.guaranteed_fraction = guaranteed_fraction
+        self._budgets = list(budgets) if budgets is not None else None
+        self._used = [0] * num_cores
+        self._period_end = period
+        self._auto_budget = None
+
+    def _auto_budgets(self, controller) -> List[int]:
+        """Equal split of a conservative guaranteed service rate.
+
+        The sustainable worst-case rate is one burst slot per tBL on the
+        data bus; reserving ``guaranteed_fraction`` of it mirrors the
+        guaranteed/best-effort split of the original system.
+        """
+        if self._auto_budget is None:
+            slots = self.period // controller.dram.timing.t_bl
+            total = max(self.num_cores,
+                        int(slots * self.guaranteed_fraction))
+            self._auto_budget = [total // self.num_cores] * self.num_cores
+        return self._auto_budget
+
+    def budgets(self, controller) -> List[int]:
+        if self._budgets is not None:
+            return self._budgets
+        return self._auto_budgets(controller)
+
+    def _roll_period(self, now: int) -> None:
+        if now >= self._period_end:
+            periods = (now - self._period_end) // self.period + 1
+            self._period_end += periods * self.period
+            self._used = [0] * self.num_cores
+
+    def select(self, queue, now, controller):
+        if not queue:
+            return None
+        self._roll_period(now)
+        budgets = self.budgets(controller)
+        reserved = [r for r in queue
+                    if self._used[r.core_id] < budgets[r.core_id]]
+        pick_from = reserved or queue
+        request = self.row_hit_first(pick_from, controller)
+        if request is not None:
+            self._used[request.core_id] += 1
+        return request
+
+    def used_this_period(self) -> List[int]:
+        """Per-core requests charged against the current period (tests)."""
+        return list(self._used)

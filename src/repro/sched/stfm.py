@@ -1,0 +1,80 @@
+"""STFM: Stall-Time Fair Memory scheduling [Mutlu & Moscibroda, MICRO'07].
+
+Referenced in Section V: STFM "attempts to estimate each application's
+slowdown, aiming to improve fairness by prioritizing the most slowed down
+application".  Per thread it tracks
+
+* ``T_shared`` -- memory stall time actually experienced, and
+* ``T_alone`` -- an estimate of the stall time it would have experienced
+  alone (here: requests times the unloaded service latency, scaled by the
+  thread's MLP),
+
+and computes the slowdown ratio ``S = T_shared / T_alone``.  When the
+ratio between the most and least slowed threads exceeds a threshold
+``alpha``, the scheduler prioritises the most-slowed thread's requests;
+otherwise it falls back to plain FR-FCFS for throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.request import MemoryRequest
+from .base import MemoryScheduler
+
+
+class StfmScheduler(MemoryScheduler):
+    """Stall-time fairness via slowdown-ratio thresholding."""
+
+    name = "STFM"
+
+    def __init__(self, num_cores: int, alpha: float = 1.1,
+                 mlp: int = 4) -> None:
+        super().__init__(num_cores)
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1.0")
+        if mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        self.alpha = alpha
+        self.mlp = mlp
+        #: accumulated shared-mode memory time per core
+        self._shared_time: List[float] = [0.0] * num_cores
+        #: accumulated estimated alone-mode memory time per core
+        self._alone_time: List[float] = [0.0] * num_cores
+        self._unloaded_latency: float = None
+
+    def _baseline(self, controller) -> float:
+        if self._unloaded_latency is None:
+            timing = controller.dram.timing
+            self._unloaded_latency = float(timing.row_closed_latency)
+        return self._unloaded_latency
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        super().on_complete(request, now)
+        core = request.core_id
+        if not 0 <= core < self.num_cores:
+            return
+        observed = max(0, now - request.mc_arrival_cycle)
+        self._shared_time[core] += observed / self.mlp
+        if self._unloaded_latency is not None:
+            self._alone_time[core] += self._unloaded_latency / self.mlp
+
+    def slowdown(self, core: int) -> float:
+        alone = self._alone_time[core]
+        if alone <= 0:
+            return 1.0
+        return max(1.0, self._shared_time[core] / alone)
+
+    def unfairness(self) -> float:
+        slowdowns = [self.slowdown(c) for c in range(self.num_cores)]
+        return max(slowdowns) / max(1.0, min(slowdowns))
+
+    def select(self, queue, now, controller):
+        if not queue:
+            return None
+        self._baseline(controller)
+        if self.unfairness() > self.alpha:
+            grouped: Dict[int, list] = self.by_core(queue)
+            worst = max(grouped, key=lambda c: (self.slowdown(c), -c))
+            return self.row_hit_first(grouped[worst], controller)
+        return self.row_hit_first(queue, controller)

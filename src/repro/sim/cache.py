@@ -1,0 +1,104 @@
+"""Set-associative cache model with LRU replacement and dirty tracking.
+
+Used for both the per-core L1s and the (shared or private) LLC.  Tag state
+is exact -- real sets, ways and LRU order -- because Figure 2's observation
+(a larger LLC both shrinks and right-shifts the inter-arrival distribution)
+only emerges from real locality filtering, not from a flat miss ratio.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity description of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class Cache:
+    """LRU set-associative cache over line addresses.
+
+    ``access`` performs lookup + fill in one step (fills are immediate;
+    fill latency is accounted by the requesting component).  Returns the
+    hit flag and, on a miss that evicts a dirty line, the victim's address
+    so the caller can generate writeback traffic.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(geometry.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.geometry.line_bytes
+        return line % self.geometry.num_sets, line
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or filling."""
+        set_index, line = self._locate(address)
+        return line in self._sets[set_index]
+
+    def access(self, address: int,
+               is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Lookup ``address``; fill on miss.
+
+        Returns ``(hit, dirty_victim_address)``.  The victim address is the
+        byte address of an evicted dirty line, or ``None``.
+        """
+        set_index, line = self._locate(address)
+        ways = self._sets[set_index]
+        if line in ways:
+            dirty = ways.pop(line)
+            ways[line] = dirty or is_write
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        victim = None
+        if len(ways) >= self.geometry.ways:
+            victim_line, victim_dirty = ways.popitem(last=False)
+            if victim_dirty:
+                victim = victim_line * self.geometry.line_bytes
+                self.writebacks += 1
+        ways[line] = is_write
+        return False, victim
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns whether it was resident."""
+        set_index, line = self._locate(address)
+        return self._sets[set_index].pop(line, None) is not None
+
+    def flush(self) -> None:
+        """Empty the cache (e.g. between experiment phases)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

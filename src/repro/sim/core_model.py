@@ -1,0 +1,247 @@
+"""Trace-driven core model and the shaper port that throttles its misses.
+
+The core replays a workload trace of ``(work, address, is_write)`` events.
+Compute cycles advance the core's clock; memory accesses look up the L1.
+L1 misses are handed to the :class:`ShaperPort`, which releases them toward
+the LLC at the times the core's :class:`~repro.core.limiter.SourceLimiter`
+permits.  Memory-level parallelism is bounded by ``mlp`` outstanding misses
+(MSHR-style): when the bound is hit the core blocks until a response
+returns, which is how shaper stalls backpressure into lost performance --
+exactly the "stalls the core" behaviour of Section III-B1.
+
+Progress is measured in *work cycles retired*: the slowdown metrics of
+Section IV-D compare work retired alone vs. shared over the same wall-clock
+window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Iterator, Optional
+
+from ..core.limiter import SourceLimiter
+from .cache import Cache
+from .engine import Engine
+from .request import MemoryRequest
+from .stats import CoreStats
+
+
+class ShaperPort:
+    """FIFO between a core's L1 miss path and the LLC, policed by a limiter.
+
+    Requests are released in order; each release consults the limiter's
+    ``earliest_issue`` and commits with ``issue``.  When the limiter can
+    never release (zero-credit config), requests park until the limiter is
+    reconfigured and :meth:`kick` is called.
+    """
+
+    def __init__(self, engine: Engine, limiter: SourceLimiter,
+                 send: Callable[[MemoryRequest], None],
+                 stats: CoreStats,
+                 interarrival_bucket: int = 10) -> None:
+        self.engine = engine
+        self.limiter = limiter
+        self.send = send
+        self.stats = stats
+        self.interarrival_bucket = interarrival_bucket
+        self.queue: Deque[MemoryRequest] = deque()
+        self._wakeup_at: Optional[int] = None
+        self._parked = False
+
+    def submit(self, request: MemoryRequest) -> None:
+        self.queue.append(request)
+        self._pump()
+
+    def submit_bypass(self, request: MemoryRequest) -> None:
+        """Send without consuming shaper budget (L1 writeback traffic).
+
+        The paper's shaper polices L1 *misses*; dirty-victim writebacks are
+        eviction side-effects, not demand requests, so they bypass the bins.
+        """
+        request.issue_cycle = self.engine.now
+        self.send(request)
+
+    def set_limiter(self, limiter: SourceLimiter) -> None:
+        """Swap the limiter (online tuner installing a new config)."""
+        self.limiter = limiter
+        self.kick()
+
+    def kick(self) -> None:
+        """Re-evaluate release times after an external state change."""
+        self._wakeup_at = None
+        self._parked = False
+        self._pump()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue)
+
+    def _pump(self) -> None:
+        """Release every request whose time has come; sleep until the next."""
+        if self._parked:
+            return
+        now = self.engine.now
+        while self.queue:
+            release_at = self.limiter.earliest_issue(now)
+            if release_at is None:
+                if self.limiter.stall_forever():
+                    # Genuinely blocked until reconfiguration + kick().
+                    self._parked = True
+                else:
+                    # Defensive: a live limiter found no slot within its
+                    # search horizon; retry shortly rather than deadlock.
+                    self._wakeup_at = now + 64
+                    self.engine.schedule(self._wakeup_at, self._wake)
+                return
+            if release_at > now:
+                if self._wakeup_at is None or release_at < self._wakeup_at:
+                    self._wakeup_at = release_at
+                    self.engine.schedule(release_at, self._wake)
+                return
+            request = self.queue.popleft()
+            self.limiter.issue(now, request.req_id)
+            request.issue_cycle = now
+            stall = now - request.l1_miss_cycle
+            self.stats.shaper_stall_cycles += stall
+            if self.stats.last_issue_cycle >= 0:
+                self.stats.record_interarrival(
+                    now - self.stats.last_issue_cycle,
+                    self.interarrival_bucket)
+            self.stats.last_issue_cycle = now
+            self.send(request)
+
+    def _wake(self) -> None:
+        if self._wakeup_at is not None and self.engine.now >= self._wakeup_at:
+            self._wakeup_at = None
+            self._pump()
+
+
+class CoreModel:
+    """One trace-replaying core with an L1 cache and MSHR-bounded MLP."""
+
+    def __init__(self, core_id: int, engine: Engine,
+                 trace: Iterable, l1: Cache, port: ShaperPort,
+                 stats: CoreStats, mlp: int = 8,
+                 line_bytes: int = 64,
+                 throttle_multiplier: float = 1.0) -> None:
+        if mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        self.core_id = core_id
+        self.engine = engine
+        self.trace = trace
+        self.l1 = l1
+        self.port = port
+        self.stats = stats
+        self.mlp = mlp
+        self.line_bytes = line_bytes
+        #: >1.0 slows the core's compute (FST-style source throttling knob)
+        self.throttle_multiplier = throttle_multiplier
+        self._iter: Iterator = iter(trace)
+        self.wraps = 0
+        self.outstanding: Dict[int, bool] = {}
+        self._blocked = False
+        self._block_start = 0
+        self._pending_work: Optional[list] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Schedule the first activity; call once before ``engine.run``."""
+        self.engine.schedule(self.engine.now, self._run)
+
+    # ------------------------------------------------------------------
+
+    def _next_event(self):
+        try:
+            return next(self._iter)
+        except StopIteration:
+            self.wraps += 1
+            self._iter = iter(self.trace)
+            return next(self._iter)
+
+    def _run(self) -> None:
+        """Process trace events until compute time elapses or we block."""
+        if self._blocked or self._running:
+            return
+        self._running = True
+        # At most issue-width zero-work accesses retire per cycle; beyond
+        # that the core re-schedules itself one cycle later so simulated
+        # time always advances (an all-hit trace must not spin forever).
+        inline_budget = 4
+        try:
+            while True:
+                if self._pending_work is None:
+                    event = self._next_event()
+                    work = int(event.work * self.throttle_multiplier)
+                    self._pending_work = [work, work, event.address,
+                                          event.is_write]
+                remaining, work, address, is_write = self._pending_work
+                if remaining > 0:
+                    self._pending_work[0] = 0
+                    self.engine.schedule_in(remaining, self._run)
+                    return
+                if inline_budget <= 0:
+                    self.engine.schedule_in(1, self._run)
+                    return
+                if not self._try_access(address, is_write, work):
+                    # MSHRs full: block until a response frees one.
+                    self._blocked = True
+                    self._block_start = self.engine.now
+                    return
+                inline_budget -= 1
+                self._pending_work = None
+        finally:
+            self._running = False
+
+    def _try_access(self, address: int, is_write: bool, work: int) -> bool:
+        """Perform the L1 access; False when blocked on MSHRs."""
+        now = self.engine.now
+        line = address // self.line_bytes
+        if line in self.outstanding:
+            # Coalesced secondary miss: the line is already in flight.
+            self.stats.accesses += 1
+            self._retire(work)
+            return True
+        if (line not in self.outstanding
+                and not self.l1.probe(address)
+                and len(self.outstanding) >= self.mlp):
+            return False
+        self.stats.accesses += 1
+        hit, dirty_victim = self.l1.access(address, is_write)
+        if hit:
+            self.stats.l1_hits += 1
+            self._retire(work)
+            return True
+        self.stats.l1_misses += 1
+        self.outstanding[line] = True
+        request = MemoryRequest(core_id=self.core_id, address=address,
+                                is_write=is_write, l1_miss_cycle=now)
+        self.port.submit(request)
+        if dirty_victim is not None:
+            # Writeback travels the same path but needs no response.
+            writeback = MemoryRequest(core_id=self.core_id,
+                                      address=dirty_victim, is_write=True,
+                                      l1_miss_cycle=now)
+            writeback.shaper_bin = -2  # marks fire-and-forget
+            self.port.submit_bypass(writeback)
+        self._retire(work)
+        return True
+
+    def _retire(self, work: int) -> None:
+        self.stats.retired += 1
+        # work was spent before the access; credit it plus the access cycle
+        self.stats.work_cycles += 1 + work
+
+    # ------------------------------------------------------------------
+
+    def on_response(self, request: MemoryRequest) -> None:
+        """Data returned (LLC hit or DRAM completion)."""
+        now = self.engine.now
+        line = request.address // self.line_bytes
+        self.outstanding.pop(line, None)
+        request.complete_cycle = now
+        self.stats.total_latency += request.total_latency
+        self.stats.post_shaper_latency += now - request.issue_cycle
+        if self._blocked:
+            self._blocked = False
+            self.stats.memory_stall_cycles += now - self._block_start
+            self._run()

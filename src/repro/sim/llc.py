@@ -1,0 +1,77 @@
+"""Shared (or private) last-level cache with banked access.
+
+The LLC reports hit/miss back to each core's MITTS shaper per request --
+the hybrid design of Section III-D -- and forwards misses to the memory
+controller.  Banks serialise accesses mapped to them, so a core hogging the
+LLC delays others even when everything hits: this is the "destructive
+effects at a shared LLC" that source-side shaping can counter (Section
+IV-D advantage 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .cache import Cache
+from .engine import Engine
+from .request import MemoryRequest
+from .stats import SystemStats
+
+
+class SharedLLC:
+    """Banked LLC between the shaper ports and the memory controller."""
+
+    def __init__(self, engine: Engine, cache: Cache,
+                 forward_miss: Callable[[MemoryRequest], None],
+                 respond: Callable[[MemoryRequest, bool], None],
+                 hit_latency: int = 30, banks: int = 8,
+                 bank_busy: int = 4,
+                 stats: SystemStats = None) -> None:
+        self.engine = engine
+        self.cache = cache
+        self.forward_miss = forward_miss
+        self.respond = respond
+        self.hit_latency = hit_latency
+        self.banks = banks
+        self.bank_busy = bank_busy
+        self.stats = stats
+        self._bank_free: List[int] = [0] * banks
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, request: MemoryRequest) -> None:
+        """Start an LLC access for ``request`` at the current cycle."""
+        now = self.engine.now
+        line = request.address // self.cache.geometry.line_bytes
+        bank = line % self.banks
+        start = max(now, self._bank_free[bank])
+        self._bank_free[bank] = start + self.bank_busy
+        hit, dirty_victim = self.cache.access(request.address,
+                                              request.is_write)
+        respond_at = start + self.hit_latency
+        demand = request.shaper_bin != -2
+        if hit:
+            self.hits += 1
+            if self.stats is not None and demand:
+                self.stats.cores[request.core_id].llc_hits += 1
+            self.engine.schedule(respond_at,
+                                 lambda: self.respond(request, True))
+        else:
+            self.misses += 1
+            if self.stats is not None and demand:
+                self.stats.cores[request.core_id].llc_misses += 1
+            self.engine.schedule(
+                respond_at, lambda: self._miss(request))
+            if dirty_victim is not None:
+                writeback = MemoryRequest(core_id=request.core_id,
+                                          address=dirty_victim,
+                                          is_write=True,
+                                          l1_miss_cycle=now)
+                writeback.shaper_bin = -2
+                writeback.issue_cycle = now
+                self.engine.schedule(
+                    respond_at, lambda: self.forward_miss(writeback))
+
+    def _miss(self, request: MemoryRequest) -> None:
+        self.respond(request, False)
+        self.forward_miss(request)

@@ -1,0 +1,109 @@
+"""Memory controller: transaction queue + pluggable scheduling policy.
+
+Table II's controller has a 32-entry transaction queue; Section III-C adds
+a small fixed FIFO that absorbs global burstiness when many cores spend
+burst credits simultaneously.  Requests beyond the queue depth back up into
+an overflow FIFO (they "back up to the cores" in the paper's words) and are
+invisible to the scheduler until a slot frees, which bounds the scheduling
+window just like real hardware.
+
+Bank-level parallelism is preserved: the controller keeps dispatching
+selected requests to the DRAM device while the data bus is not booked too
+far ahead, so independent banks overlap their activates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..dram.device import DramDevice
+from .engine import Engine
+from .request import MemoryRequest
+from .stats import SystemStats
+
+
+class MemoryController:
+    """Transaction queue feeding the DRAM device via a scheduler policy."""
+
+    def __init__(self, engine: Engine, dram: DramDevice,
+                 scheduler: "MemorySchedulerProtocol",
+                 complete: Callable[[MemoryRequest], None],
+                 queue_depth: int = 32,
+                 stats: SystemStats = None) -> None:
+        self.engine = engine
+        self.dram = dram
+        self.scheduler = scheduler
+        self.complete = complete
+        self.queue_depth = queue_depth
+        self.stats = stats
+        self.queue: List[MemoryRequest] = []
+        self.overflow: Deque[MemoryRequest] = deque()
+        self._inflight = 0
+        self._max_inflight = dram.timing.total_banks
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        request.mc_arrival_cycle = self.engine.now
+        if len(self.queue) >= self.queue_depth:
+            self.overflow.append(request)
+            if self.stats is not None:
+                self.stats.queue_backpressure_events += 1
+        else:
+            self.queue.append(request)
+        if self.stats is not None:
+            depth = len(self.queue) + len(self.overflow)
+            if depth > self.stats.peak_queue_depth:
+                self.stats.peak_queue_depth = depth
+        self._dispatch()
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue) + len(self.overflow) + self._inflight
+
+    def _refill_window(self) -> None:
+        while self.overflow and len(self.queue) < self.queue_depth:
+            self.queue.append(self.overflow.popleft())
+
+    def _dispatch(self) -> None:
+        """Dispatch selected requests while bank-level slots are free.
+
+        One in-flight request per bank keeps independent banks overlapped
+        (that is where DRAM parallelism comes from) while the rest of the
+        queue stays visible to the scheduler, so late decisions -- row-hit
+        prioritisation, per-core ranking -- still apply.
+        """
+        now = self.engine.now
+        while self.queue and self._inflight < self._max_inflight:
+            request = self.scheduler.select(self.queue, now, self)
+            if request is None:
+                return
+            self.queue.remove(request)
+            self._refill_window()
+            request.dram_start_cycle = now
+            done = self.dram.service(request.address, now, request.is_write)
+            self._inflight += 1
+            self.engine.schedule(done, lambda r=request: self._complete(r))
+
+    def _complete(self, request: MemoryRequest) -> None:
+        self._inflight -= 1
+        if self.stats is not None:
+            core = self.stats.cores[request.core_id]
+            if request.shaper_bin == -2:
+                core.writebacks += 1
+            else:
+                core.dram_requests += 1
+        self.scheduler.on_complete(request, self.engine.now)
+        self.complete(request)
+        self._refill_window()
+        self._dispatch()
+
+
+class MemorySchedulerProtocol:
+    """Interface memory schedulers implement (see :mod:`repro.sched`)."""
+
+    def select(self, queue: List[MemoryRequest], now: int,
+               controller: MemoryController) -> Optional[MemoryRequest]:
+        raise NotImplementedError
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        """Completion hook (service-rate accounting for TCM/MISE)."""

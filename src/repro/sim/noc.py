@@ -1,0 +1,102 @@
+"""On-chip network (mesh NoC) between core tiles and LLC banks.
+
+Section II-B lists the on-chip interconnection network among the shared
+resources "difficult to isolate", and the 25-core tape-out is an
+OpenPiton-style tiled mesh.  This model adds that substrate: cores and
+LLC banks sit on a 2D mesh, requests traverse XY-routed hops with a
+per-hop latency, and each directed link serialises flits -- so a core
+streaming through a shared corner of the mesh delays its neighbours even
+when DRAM is idle.
+
+Enable with ``SystemConfig(noc_enabled=True)``; tile geometry is derived
+from the core count (square-ish mesh), and LLC banks are distributed
+round-robin across tiles as in a distributed shared LLC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from .engine import Engine
+
+
+class MeshNoc:
+    """XY-routed 2D mesh with per-directed-link serialisation."""
+
+    def __init__(self, engine: Engine, tiles: int, hop_latency: int = 2,
+                 link_occupancy: int = 1) -> None:
+        if tiles < 1:
+            raise ValueError("need at least one tile")
+        if hop_latency < 1 or link_occupancy < 0:
+            raise ValueError("invalid NoC timing")
+        self.engine = engine
+        self.tiles = tiles
+        self.width = max(1, math.ceil(math.sqrt(tiles)))
+        self.hop_latency = hop_latency
+        self.link_occupancy = link_occupancy
+        #: directed link (src_tile, dst_tile) -> busy-until cycle
+        self._link_free: Dict[Tuple[int, int], int] = {}
+        self.flits_routed = 0
+        self.total_hops = 0
+
+    def coordinates(self, tile: int) -> Tuple[int, int]:
+        if not 0 <= tile < self.tiles:
+            raise ValueError(f"tile {tile} out of range")
+        return tile % self.width, tile // self.width
+
+    def _tile_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance under XY routing."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int):
+        """The XY route as a list of directed (tile, tile) links."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        links = []
+        x, y = sx, sy
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            links.append((self._tile_at(x, y), self._tile_at(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            links.append((self._tile_at(x, y), self._tile_at(x, ny)))
+            y = ny
+        return links
+
+    def traverse(self, src: int, dst: int, now: int) -> int:
+        """Send one flit from ``src`` to ``dst``; returns arrival cycle.
+
+        Each link on the route is claimed in order: the flit leaves a
+        link no earlier than the link frees, and occupies it for
+        ``link_occupancy`` cycles behind itself (wormhole-ish
+        serialisation without per-flit buffering detail).
+        """
+        time = now
+        for link in self.route(src, dst):
+            depart = max(time, self._link_free.get(link, 0))
+            self._link_free[link] = depart + self.link_occupancy
+            time = depart + self.hop_latency
+            self.total_hops += 1
+        self.flits_routed += 1
+        return time
+
+    def congestion(self, now: int) -> float:
+        """Mean cycles until links free (a coarse utilisation probe)."""
+        if not self._link_free:
+            return 0.0
+        backlog = [max(0, free - now) for free in self._link_free.values()]
+        return sum(backlog) / len(backlog)
+
+
+def bank_tile(noc: MeshNoc, bank: int, banks: int) -> int:
+    """Home tile of an LLC bank: banks stripe round-robin over tiles."""
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    return (bank * max(1, noc.tiles // banks)) % noc.tiles

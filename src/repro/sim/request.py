@@ -1,0 +1,52 @@
+"""Memory request objects passed between simulator components."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """A single memory transaction as seen below the L1 cache.
+
+    A request is created by a core on an L1 miss, possibly delayed by the
+    MITTS shaper, looked up in the shared LLC and -- on an LLC miss --
+    serviced by the memory controller and DRAM.  Timestamps for each stage
+    are recorded so latency statistics can be derived afterwards.
+    """
+
+    core_id: int
+    address: int
+    is_write: bool = False
+    #: cycle the L1 miss occurred (before any shaper delay)
+    l1_miss_cycle: int = 0
+    #: cycle the shaper released the request towards the LLC
+    issue_cycle: int = 0
+    #: cycle the request arrived at the memory controller (LLC miss only)
+    mc_arrival_cycle: int = 0
+    #: cycle DRAM service started
+    dram_start_cycle: int = 0
+    #: cycle the data response reached the core
+    complete_cycle: int = 0
+    #: MITTS bin a credit was deducted from (hybrid method 2 bookkeeping)
+    shaper_bin: int = -1
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def total_latency(self) -> int:
+        """End-to-end latency from L1 miss to completion."""
+        return self.complete_cycle - self.l1_miss_cycle
+
+    @property
+    def shaper_delay(self) -> int:
+        """Cycles the request spent stalled in the MITTS shaper."""
+        return self.issue_cycle - self.l1_miss_cycle
+
+    @property
+    def queue_delay(self) -> int:
+        """Cycles spent waiting in the memory-controller transaction queue."""
+        return self.dram_start_cycle - self.mc_arrival_cycle

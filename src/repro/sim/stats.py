@@ -1,0 +1,136 @@
+"""Per-core and system-wide statistics collection.
+
+Statistics are plain counters updated inline by the simulator components.
+``CoreStats.snapshot()`` supports the online genetic algorithm, which needs
+per-epoch deltas of the same counters (request service rates, stall cycles)
+to estimate application slowdown the way MISE does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CoreStats:
+    """Counters for one core / one program in the simulated system."""
+
+    core_id: int = 0
+    #: memory accesses issued by the core (L1 lookups)
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    #: demand requests fully serviced by DRAM
+    dram_requests: int = 0
+    #: writeback (dirty-victim) requests serviced by DRAM
+    writebacks: int = 0
+    #: cycles the core was stalled by the MITTS shaper / source throttle
+    shaper_stall_cycles: int = 0
+    #: cycles the core was stalled waiting for MSHRs / data
+    memory_stall_cycles: int = 0
+    #: total request latency accumulated (for average latency)
+    total_latency: int = 0
+    #: latency accumulated from shaper release to completion (excludes
+    #: time spent stalled in the shaper -- the memory system's own delay)
+    post_shaper_latency: int = 0
+    #: trace work-cycles retired -- progress measure used for slowdowns
+    work_cycles: int = 0
+    #: number of trace events retired
+    retired: int = 0
+    #: inter-arrival histogram of issued (post-shaper) L1-miss requests
+    interarrival: Dict[int, int] = field(default_factory=dict)
+    #: cycle of the last issued (post-shaper) memory request
+    last_issue_cycle: int = -1
+    #: inter-arrival histogram of *memory* requests (LLC misses) -- the
+    #: stream Figures 1 and 2 plot
+    mem_interarrival: Dict[int, int] = field(default_factory=dict)
+    #: cycle of the last LLC-miss (memory) request
+    last_mem_request_cycle: int = -1
+
+    def record_interarrival(self, gap: int, bucket_width: int = 10) -> None:
+        """Accumulate ``gap`` cycles into the post-shaper histogram."""
+        bucket = gap // bucket_width
+        self.interarrival[bucket] = self.interarrival.get(bucket, 0) + 1
+
+    def record_mem_interarrival(self, gap: int,
+                                bucket_width: int = 10) -> None:
+        """Accumulate ``gap`` cycles into the memory-request histogram."""
+        bucket = gap // bucket_width
+        self.mem_interarrival[bucket] = \
+            self.mem_interarrival.get(bucket, 0) + 1
+
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end latency of DRAM-serviced requests."""
+        if self.dram_requests == 0:
+            return 0.0
+        return self.total_latency / self.dram_requests
+
+    @property
+    def l1_miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.l1_misses / self.accesses
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the scalar counters, for epoch-delta computation."""
+        return {
+            "accesses": self.accesses,
+            "l1_misses": self.l1_misses,
+            "llc_hits": self.llc_hits,
+            "llc_misses": self.llc_misses,
+            "dram_requests": self.dram_requests,
+            "writebacks": self.writebacks,
+            "shaper_stall_cycles": self.shaper_stall_cycles,
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "total_latency": self.total_latency,
+            "post_shaper_latency": self.post_shaper_latency,
+            "work_cycles": self.work_cycles,
+            "retired": self.retired,
+        }
+
+    @staticmethod
+    def delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+        """Element-wise difference of two snapshots."""
+        return {key: after[key] - before[key] for key in after}
+
+
+@dataclass
+class SystemStats:
+    """System-wide statistics for one simulation run."""
+
+    cores: List[CoreStats] = field(default_factory=list)
+    #: total cycles simulated
+    cycles: int = 0
+    #: DRAM row-buffer hits / misses (memory-controller wide)
+    row_hits: int = 0
+    row_misses: int = 0
+    #: peak occupancy observed in the MC transaction queue
+    peak_queue_depth: int = 0
+    #: requests rejected (backpressured) because the MC queue was full
+    queue_backpressure_events: int = 0
+
+    def core(self, core_id: int) -> CoreStats:
+        return self.cores[core_id]
+
+    @property
+    def total_dram_requests(self) -> int:
+        """All DRAM transactions, demand plus writeback."""
+        return sum(core.dram_requests + core.writebacks
+                   for core in self.cores)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        if total == 0:
+            return 0.0
+        return self.row_hits / total
+
+    def bandwidth_bytes_per_cycle(self, line_bytes: int = 64) -> float:
+        """Average delivered DRAM bandwidth over the run."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_dram_requests * line_bytes / self.cycles

@@ -1,0 +1,284 @@
+"""Full-system assembly: cores + shapers + shared LLC + MC + DRAM.
+
+:class:`SimSystem` wires one :class:`~repro.sim.core_model.CoreModel` per
+trace through a per-core :class:`~repro.sim.core_model.ShaperPort` (holding
+any :class:`~repro.core.limiter.SourceLimiter` -- a MITTS shaper, a static
+limiter, or a pass-through) into a shared banked LLC, a memory controller
+with a pluggable scheduling policy, and the DDR3 timing model.  This is the
+SDSim substitute described in DESIGN.md.
+
+Typical use::
+
+    traces = [trace_for("mcf"), trace_for("libquantum")]
+    system = SimSystem(traces, limiters=[MittsShaper(cfg1), MittsShaper(cfg2)])
+    stats = system.run(200_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+from ..core.limiter import NoLimiter, SourceLimiter
+from ..dram.device import DramDevice
+from ..dram.timing import DDR3_1333, DramTiming
+from .cache import Cache, CacheGeometry
+from .core_model import CoreModel, ShaperPort
+from .engine import Engine
+from .llc import SharedLLC
+from .memctrl import MemoryController, MemorySchedulerProtocol
+from .request import MemoryRequest
+from .stats import CoreStats, SystemStats
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Table II base configuration (single-program LLC is 64KB; mixes 1MB)."""
+
+    l1_size: int = 32 * 1024
+    l1_ways: int = 4
+    llc_size: int = 1024 * 1024
+    llc_ways: int = 8
+    llc_hit_latency: int = 30
+    llc_banks: int = 8
+    llc_bank_busy: int = 4
+    line_bytes: int = 64
+    mc_queue_depth: int = 32
+    timing: DramTiming = field(default_factory=lambda: DDR3_1333)
+    #: DRAM address interleaving: "row" (DRAMSim2 default) or "bank"
+    dram_mapping: str = "row"
+    #: histogram bucket width for inter-arrival stats (= bin length L)
+    interarrival_bucket: int = 10
+    #: MLP used when a trace has no profile-specified value
+    default_mlp: int = 4
+    #: core model: "simple" (MSHR-capped MLP) or "window" (Table II's
+    #: 4-wide, 128-entry instruction window ROB model)
+    core_model: str = "simple"
+    #: model the on-chip mesh between cores and LLC banks
+    noc_enabled: bool = False
+    #: per-hop latency of the mesh, in cycles
+    noc_hop_latency: int = 2
+    #: cycles a flit occupies each directed link behind itself
+    noc_link_occupancy: int = 1
+    #: instruction-window size for the "window" core model (Table II)
+    window_size: int = 128
+    #: dispatch/retire width for the "window" core model (Table II)
+    issue_width: int = 4
+    #: MSHRs per core for the "window" core model (Table II)
+    mshrs: int = 8
+
+
+#: Table II single-program configuration (64KB private L2).
+SINGLE_PROGRAM_CONFIG = SystemConfig(llc_size=64 * 1024)
+#: Table II multi-program configuration (1MB shared L2).
+MULTI_PROGRAM_CONFIG = SystemConfig(llc_size=1024 * 1024)
+#: Section IV-D1 "current day multicore" configuration.
+LARGE_LLC_CONFIG = SystemConfig(llc_size=8 * 1024 * 1024)
+
+# Scaled configurations for the reduced ROIs of pure-Python runs (DESIGN.md
+# section 6): the paper's 1MB shared LLC holds ~16k lines and its 32KB L1s
+# 512, which a 100-200k cycle ROI never pressures; scaling the hierarchy
+# with the ROI preserves the capacity-contention ratios (working set : L1 :
+# LLC) the evaluation depends on.  The paper-sized configs above remain
+# available for paper-scale runs.
+#: scaled stand-in for the Table II single-program system (32KB L1 / 64KB L2)
+SCALED_SINGLE_CONFIG = SystemConfig(l1_size=8 * 1024, llc_size=64 * 1024)
+#: scaled stand-in for the 1MB shared multi-program LLC
+SCALED_MULTI_CONFIG = SystemConfig(l1_size=8 * 1024, llc_size=256 * 1024)
+#: scaled stand-in for the 8MB "current day multicore" LLC (Figure 15)
+SCALED_LARGE_LLC_CONFIG = SystemConfig(l1_size=8 * 1024,
+                                       llc_size=1024 * 1024)
+
+
+class _FcfsFallback(MemorySchedulerProtocol):
+    """Oldest-first policy used when no scheduler is supplied."""
+
+    def select(self, queue, now, controller):
+        if not queue:
+            return None
+        return min(queue, key=lambda r: r.mc_arrival_cycle)
+
+
+class SimSystem:
+    """A simulated multicore with per-core source limiters."""
+
+    def __init__(self, traces: Sequence, config: SystemConfig = None,
+                 limiters: Sequence[SourceLimiter] = None,
+                 scheduler: MemorySchedulerProtocol = None,
+                 mlps: Sequence[int] = None) -> None:
+        if not traces:
+            raise ValueError("at least one trace is required")
+        self.config = config or MULTI_PROGRAM_CONFIG
+        self.engine = Engine()
+        num_cores = len(traces)
+        if limiters is None:
+            limiters = [NoLimiter() for _ in range(num_cores)]
+        if len(limiters) != num_cores:
+            raise ValueError("one limiter per trace is required")
+        self.scheduler = scheduler or _FcfsFallback()
+
+        self.stats = SystemStats(
+            cores=[CoreStats(core_id=i) for i in range(num_cores)])
+        self.dram = DramDevice(self.config.timing,
+                               mapping_scheme=self.config.dram_mapping)
+        self.mc = MemoryController(
+            self.engine, self.dram, self.scheduler,
+            complete=self._on_dram_complete,
+            queue_depth=self.config.mc_queue_depth, stats=self.stats)
+        llc_cache = Cache(CacheGeometry(self.config.llc_size,
+                                        self.config.llc_ways,
+                                        self.config.line_bytes))
+        self.llc = SharedLLC(self.engine, llc_cache,
+                             forward_miss=self.mc.enqueue,
+                             respond=self._on_llc_determination,
+                             hit_latency=self.config.llc_hit_latency,
+                             banks=self.config.llc_banks,
+                             bank_busy=self.config.llc_bank_busy,
+                             stats=self.stats)
+
+        self.noc = None
+        if self.config.noc_enabled:
+            from .noc import MeshNoc
+            self.noc = MeshNoc(self.engine, tiles=max(num_cores,
+                                                      self.config.llc_banks),
+                               hop_latency=self.config.noc_hop_latency,
+                               link_occupancy=self.config.noc_link_occupancy)
+
+        self.ports: List[ShaperPort] = []
+        self.cores: List[CoreModel] = []
+        for core_id, trace in enumerate(traces):
+            send = self.llc.lookup if self.noc is None \
+                else self._noc_send(core_id)
+            port = ShaperPort(
+                self.engine, limiters[core_id], send=send,
+                stats=self.stats.cores[core_id],
+                interarrival_bucket=self.config.interarrival_bucket)
+            l1 = Cache(CacheGeometry(self.config.l1_size,
+                                     self.config.l1_ways,
+                                     self.config.line_bytes))
+            if self.config.core_model == "window":
+                from .ooo_core import WindowCoreModel
+                core = WindowCoreModel(
+                    core_id, self.engine, trace, l1, port,
+                    self.stats.cores[core_id],
+                    window=self.config.window_size,
+                    width=self.config.issue_width,
+                    mshrs=self.config.mshrs,
+                    line_bytes=self.config.line_bytes)
+            elif self.config.core_model == "simple":
+                mlp = self._mlp_for(trace, core_id, mlps)
+                core = CoreModel(core_id, self.engine, trace, l1,
+                                 port, self.stats.cores[core_id], mlp=mlp,
+                                 line_bytes=self.config.line_bytes)
+            else:
+                raise ValueError(
+                    f"unknown core model {self.config.core_model!r}")
+            self.ports.append(port)
+            self.cores.append(core)
+        self._started = False
+
+    def _mlp_for(self, trace, core_id: int,
+                 mlps: Optional[Sequence[int]]) -> int:
+        if mlps is not None:
+            return mlps[core_id]
+        profile = getattr(trace, "profile", None)
+        if profile is not None and hasattr(profile, "mlp"):
+            return profile.mlp
+        return self.config.default_mlp
+
+    # ------------------------------------------------------------------
+    # response plumbing
+
+    def _noc_send(self, core_id: int):
+        """Request path through the mesh: core tile -> LLC bank tile."""
+        from .noc import bank_tile
+
+        def send(request: MemoryRequest) -> None:
+            line = request.address // self.config.line_bytes
+            bank = line % self.config.llc_banks
+            dst = bank_tile(self.noc, bank, self.config.llc_banks)
+            arrive = self.noc.traverse(core_id % self.noc.tiles, dst,
+                                       self.engine.now)
+            self.engine.schedule(arrive, lambda: self.llc.lookup(request))
+
+        return send
+
+    def _on_llc_determination(self, request: MemoryRequest,
+                              was_hit: bool) -> None:
+        """LLC has classified the request: feed the shaper, maybe the core."""
+        if request.shaper_bin == -2:  # writeback, fire-and-forget
+            return
+        limiter = self.ports[request.core_id].limiter
+        limiter.on_llc_response(request.req_id, was_hit)
+        if was_hit:
+            if self.noc is not None:
+                from .noc import bank_tile
+                line = request.address // self.config.line_bytes
+                bank = line % self.config.llc_banks
+                src = bank_tile(self.noc, bank, self.config.llc_banks)
+                arrive = self.noc.traverse(
+                    src, request.core_id % self.noc.tiles, self.engine.now)
+                self.engine.schedule(
+                    arrive,
+                    lambda: self.cores[request.core_id].on_response(request))
+            else:
+                self.cores[request.core_id].on_response(request)
+        else:
+            stats = self.stats.cores[request.core_id]
+            if stats.last_mem_request_cycle >= 0:
+                stats.record_mem_interarrival(
+                    self.engine.now - stats.last_mem_request_cycle,
+                    self.config.interarrival_bucket)
+            stats.last_mem_request_cycle = self.engine.now
+
+    def _on_dram_complete(self, request: MemoryRequest) -> None:
+        if request.shaper_bin == -2:
+            return
+        self.cores[request.core_id].on_response(request)
+
+    # ------------------------------------------------------------------
+    # control
+
+    def set_limiter(self, core_id: int, limiter: SourceLimiter) -> None:
+        """Swap a core's source limiter (online reconfiguration)."""
+        self.ports[core_id].set_limiter(limiter)
+
+    def limiter(self, core_id: int) -> SourceLimiter:
+        return self.ports[core_id].limiter
+
+    def every(self, period: int, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` every ``period`` cycles (tuner epochs)."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+
+        def tick() -> None:
+            callback()
+            self.engine.schedule_in(period, tick)
+
+        self.engine.schedule_in(period, tick)
+
+    def run(self, cycles: int) -> SystemStats:
+        """Run (or continue) the simulation for ``cycles`` more cycles."""
+        if not self._started:
+            for core in self.cores:
+                core.start()
+            self._started = True
+        horizon = self.engine.now + cycles
+        self.engine.run(until=horizon)
+        self.stats.cycles = self.engine.now
+        self.stats.row_hits = self.dram.row_hits
+        self.stats.row_misses = self.dram.row_misses
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # derived results
+
+    def work_rates(self) -> List[float]:
+        """Per-core work-cycles retired per wall cycle (progress rate)."""
+        cycles = max(1, self.stats.cycles)
+        return [core.work_cycles / cycles for core in self.stats.cores]
+
+
+def single_config(llc_size: int = 64 * 1024, **overrides) -> SystemConfig:
+    """A single-program SystemConfig with optional field overrides."""
+    return replace(SINGLE_PROGRAM_CONFIG, llc_size=llc_size, **overrides)

@@ -1,0 +1,41 @@
+"""Bin-configuration search: offline/online GA and baseline optimizers."""
+
+from .ga import (GaParams, GaResult, GeneticAlgorithm, PAPER_GENERATIONS,
+                 PAPER_POPULATION)
+from .genome import (Genome, crossover, mutate, random_config,
+                     random_genome, seed_genomes)
+from .hillclimb import HillClimber, RandomSearch
+from .objectives import (FitnessEvaluator, OBJECTIVES, fairness_objective,
+                         perf_per_cost_objective, performance_objective,
+                         resolve_objective, throughput_objective)
+from .online import OnlineGaTuner
+from .profiler import (Profile, config_from_profile, profile_application,
+                       profile_benchmark)
+
+__all__ = [
+    "FitnessEvaluator",
+    "GaParams",
+    "GaResult",
+    "GeneticAlgorithm",
+    "Genome",
+    "HillClimber",
+    "OBJECTIVES",
+    "OnlineGaTuner",
+    "Profile",
+    "PAPER_GENERATIONS",
+    "PAPER_POPULATION",
+    "RandomSearch",
+    "crossover",
+    "fairness_objective",
+    "mutate",
+    "perf_per_cost_objective",
+    "performance_objective",
+    "profile_application",
+    "profile_benchmark",
+    "config_from_profile",
+    "random_config",
+    "random_genome",
+    "resolve_objective",
+    "seed_genomes",
+    "throughput_objective",
+]

@@ -1,0 +1,132 @@
+"""Offline genetic algorithm for bin configuration (Section IV-B).
+
+"The offline algorithm optimizes for a single choice of bin configurations
+across a whole program with 20 generations and 30 children per
+generation."  The GA is elitist: the best genomes survive unchanged,
+children are produced by tournament-selected crossover plus per-bin
+mutation, and an optional repair operator projects every genome onto a
+constraint surface (the equal-average-interval / equal-average-bandwidth
+constraint of the static comparison uses
+:func:`repro.core.config_space.repair_to_constraints`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..core.bins import BinConfig, BinSpec
+from .genome import Genome, crossover, mutate, random_genome
+
+
+#: paper-scale parameters (Section IV-B)
+PAPER_GENERATIONS = 20
+PAPER_POPULATION = 30
+
+
+@dataclass
+class GaParams:
+    """Search hyper-parameters; defaults are scaled for pure-Python runs.
+
+    Pass ``generations=PAPER_GENERATIONS, population=PAPER_POPULATION`` to
+    reproduce the paper-scale search.
+    """
+
+    generations: int = 8
+    population: int = 12
+    elite: int = 2
+    tournament: int = 3
+    mutation_rate: float = 0.15
+    max_per_bin: int = 64
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.generations < 1 or self.population < 2:
+            raise ValueError("need >= 1 generation and >= 2 children")
+        if not 0 <= self.elite < self.population:
+            raise ValueError("elite must be < population")
+        if self.tournament < 1:
+            raise ValueError("tournament must be >= 1")
+
+
+@dataclass
+class GaResult:
+    """Best genome found plus the per-generation best-fitness history."""
+
+    best_genome: Genome
+    best_fitness: float
+    history: List[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class GeneticAlgorithm:
+    """Elitist GA over per-core bin configurations."""
+
+    def __init__(self, fitness: Callable[[Genome], float],
+                 spec: BinSpec, num_cores: int,
+                 params: GaParams = None,
+                 repair: Optional[Callable[[BinConfig], BinConfig]] = None,
+                 seed_genomes: Optional[List[Genome]] = None) -> None:
+        self.fitness = fitness
+        self.spec = spec
+        self.num_cores = num_cores
+        self.params = params or GaParams()
+        self.repair = repair
+        self.seed_genomes = seed_genomes or []
+
+    # ------------------------------------------------------------------
+
+    def _repair(self, genome: Genome) -> Genome:
+        if self.repair is None:
+            return genome
+        return [self.repair(config) for config in genome]
+
+    def _initial_population(self, rng: random.Random) -> List[Genome]:
+        population = [self._repair(genome) for genome in self.seed_genomes]
+        while len(population) < self.params.population:
+            population.append(self._repair(
+                random_genome(self.spec, self.num_cores, rng,
+                              self.params.max_per_bin)))
+        return population[:self.params.population]
+
+    def _tournament_pick(self, scored: List[Tuple[float, Genome]],
+                         rng: random.Random) -> Genome:
+        entrants = [scored[rng.randrange(len(scored))]
+                    for _ in range(self.params.tournament)]
+        return max(entrants, key=lambda pair: pair[0])[1]
+
+    def run(self) -> GaResult:
+        rng = random.Random(self.params.seed)
+        population = self._initial_population(rng)
+        history: List[float] = []
+        evaluations = 0
+        best_genome: Optional[Genome] = None
+        best_fitness = float("-inf")
+
+        for _ in range(self.params.generations):
+            scored = []
+            for genome in population:
+                score = self.fitness(genome)
+                evaluations += 1
+                scored.append((score, genome))
+                if score > best_fitness:
+                    best_fitness = score
+                    best_genome = genome
+            scored.sort(key=lambda pair: pair[0], reverse=True)
+            history.append(scored[0][0])
+
+            next_population = [genome for _, genome
+                               in scored[:self.params.elite]]
+            while len(next_population) < self.params.population:
+                parent_a = self._tournament_pick(scored, rng)
+                parent_b = self._tournament_pick(scored, rng)
+                child = crossover(parent_a, parent_b, rng)
+                child = mutate(child, rng, self.params.mutation_rate,
+                               self.params.max_per_bin)
+                next_population.append(self._repair(child))
+            population = next_population
+
+        assert best_genome is not None
+        return GaResult(best_genome=best_genome, best_fitness=best_fitness,
+                        history=history, evaluations=evaluations)

@@ -1,0 +1,117 @@
+"""Baseline optimizers for the GA-vs-alternatives ablation.
+
+Section IV-B argues hill climbing and gradient descent "are likely to get
+stuck in a local optimal solution" in the non-convex bin-configuration
+space; these implementations make that claim testable
+(``benchmarks/bench_ablation_optimizer.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..core.bins import BinConfig, BinSpec
+from .ga import GaResult
+from .genome import Genome, random_genome
+
+
+class HillClimber:
+    """Steepest-ascent hill climbing over single-credit moves.
+
+    Each step tries perturbing every (core, bin) coordinate by +/- delta
+    and takes the best improving move; terminates at a local optimum or
+    when the evaluation budget runs out.
+    """
+
+    def __init__(self, fitness: Callable[[Genome], float], spec: BinSpec,
+                 num_cores: int, budget: int = 96, delta: int = 2,
+                 max_per_bin: int = 64, seed: int = 42,
+                 repair: Optional[Callable[[BinConfig], BinConfig]] = None
+                 ) -> None:
+        self.fitness = fitness
+        self.spec = spec
+        self.num_cores = num_cores
+        self.budget = budget
+        self.delta = delta
+        self.max_per_bin = max_per_bin
+        self.seed = seed
+        self.repair = repair
+
+    def _neighbours(self, genome: Genome) -> List[Genome]:
+        moves = []
+        for core in range(self.num_cores):
+            for index in range(self.spec.num_bins):
+                for delta in (self.delta, -self.delta):
+                    value = genome[core].credits[index] + delta
+                    if not 0 <= value <= self.max_per_bin:
+                        continue
+                    candidate = list(genome)
+                    candidate[core] = genome[core].with_credits(index, value)
+                    if self.repair is not None:
+                        candidate[core] = self.repair(candidate[core])
+                    moves.append(candidate)
+        return moves
+
+    def run(self) -> GaResult:
+        rng = random.Random(self.seed)
+        current = random_genome(self.spec, self.num_cores, rng,
+                                self.max_per_bin)
+        if self.repair is not None:
+            current = [self.repair(c) for c in current]
+        current_fitness = self.fitness(current)
+        evaluations = 1
+        history = [current_fitness]
+        while evaluations < self.budget:
+            best_move = None
+            best_fitness = current_fitness
+            for candidate in self._neighbours(current):
+                if evaluations >= self.budget:
+                    break
+                score = self.fitness(candidate)
+                evaluations += 1
+                if score > best_fitness:
+                    best_fitness = score
+                    best_move = candidate
+            if best_move is None:
+                break  # local optimum
+            current, current_fitness = best_move, best_fitness
+            history.append(current_fitness)
+        return GaResult(best_genome=current, best_fitness=current_fitness,
+                        history=history, evaluations=evaluations)
+
+
+class RandomSearch:
+    """Uniform random sampling with the same evaluation budget."""
+
+    def __init__(self, fitness: Callable[[Genome], float], spec: BinSpec,
+                 num_cores: int, budget: int = 96, max_per_bin: int = 64,
+                 seed: int = 42,
+                 repair: Optional[Callable[[BinConfig], BinConfig]] = None
+                 ) -> None:
+        self.fitness = fitness
+        self.spec = spec
+        self.num_cores = num_cores
+        self.budget = budget
+        self.max_per_bin = max_per_bin
+        self.seed = seed
+        self.repair = repair
+
+    def run(self) -> GaResult:
+        rng = random.Random(self.seed)
+        best_genome = None
+        best_fitness = float("-inf")
+        history = []
+        for _ in range(self.budget):
+            genome = random_genome(self.spec, self.num_cores, rng,
+                                   self.max_per_bin)
+            if self.repair is not None:
+                genome = [self.repair(c) for c in genome]
+            score = self.fitness(genome)
+            if score > best_fitness:
+                best_fitness = score
+                best_genome = genome
+            history.append(best_fitness)
+        assert best_genome is not None
+        return GaResult(best_genome=best_genome, best_fitness=best_fitness,
+                        history=history, evaluations=self.budget)

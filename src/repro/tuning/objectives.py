@@ -1,0 +1,141 @@
+"""Objective functions and the simulation-backed fitness evaluator.
+
+The GA (offline or online) needs a scalar "higher is better" fitness for a
+candidate genome.  :class:`FitnessEvaluator` builds a fresh
+:class:`~repro.sim.system.SimSystem` per evaluation -- same traces, same
+scheduler factory, one MITTS shaper per core configured from the genome --
+and scores the resulting stats with one of the objectives the paper
+optimises for: performance, throughput (``-S_avg``), fairness
+(``-S_max``), or performance-per-cost (Section IV-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.bins import BinConfig
+from ..core.pricing import config_price_core_equivalents
+from ..core.shaper import MittsShaper
+from ..sim.stats import SystemStats
+from ..sim.system import SimSystem, SystemConfig
+from .genome import Genome
+
+
+ObjectiveFn = Callable[[SystemStats, Genome, "FitnessEvaluator"], float]
+
+
+def performance_objective(stats: SystemStats, genome: Genome,
+                          evaluator: "FitnessEvaluator") -> float:
+    """Total work retired (single-program performance, Figure 11)."""
+    return float(sum(core.work_cycles for core in stats.cores))
+
+
+def throughput_objective(stats: SystemStats, genome: Genome,
+                         evaluator: "FitnessEvaluator") -> float:
+    """Negated average slowdown ``-S_avg`` (higher is better)."""
+    slowdowns = evaluator.slowdowns(stats)
+    return -sum(slowdowns) / len(slowdowns)
+
+
+def fairness_objective(stats: SystemStats, genome: Genome,
+                       evaluator: "FitnessEvaluator") -> float:
+    """Negated maximum slowdown ``-S_max`` (higher is better)."""
+    return -max(evaluator.slowdowns(stats))
+
+
+def perf_per_cost_objective(stats: SystemStats, genome: Genome,
+                            evaluator: "FitnessEvaluator") -> float:
+    """Work per unit price: the IaaS economic-efficiency objective.
+
+    Cost is the purchased distribution's price (in core-equivalents via the
+    1.6 GB/s exchange rate) plus one core-equivalent for the CPU itself.
+    """
+    work = sum(core.work_cycles for core in stats.cores)
+    cost = len(genome) + sum(config_price_core_equivalents(config)
+                             for config in genome)
+    return work / max(cost, 1e-9)
+
+
+OBJECTIVES = {
+    "performance": performance_objective,
+    "throughput": throughput_objective,
+    "fairness": fairness_objective,
+    "perf_per_cost": perf_per_cost_objective,
+}
+
+
+@dataclass
+class FitnessEvaluator:
+    """Runs one simulation per genome and scores it.
+
+    ``alone_work`` holds each program's work retired when run alone for
+    ``run_cycles`` (needed by the slowdown objectives); compute it once
+    with :meth:`measure_alone` and share it across evaluations.
+    """
+
+    traces: Sequence
+    system_config: SystemConfig
+    run_cycles: int
+    objective: ObjectiveFn
+    scheduler_factory: Optional[Callable[[int], object]] = None
+    alone_work: Optional[List[float]] = None
+    shaper_method: int = MittsShaper.METHOD_DEDUCT_REFUND
+    #: filled in as evaluations run: (genome, fitness) of the best seen
+    evaluations: int = field(default=0)
+
+    def measure_alone(self) -> List[float]:
+        """Per-program work retired running alone (unshaped)."""
+        work = []
+        for trace in self.traces:
+            system = SimSystem([trace], config=self.system_config,
+                               scheduler=self._make_scheduler(1))
+            stats = system.run(self.run_cycles)
+            work.append(float(stats.cores[0].work_cycles))
+        self.alone_work = work
+        return work
+
+    def _make_scheduler(self, num_cores: int):
+        if self.scheduler_factory is None:
+            return None
+        return self.scheduler_factory(num_cores)
+
+    def slowdowns(self, stats: SystemStats) -> List[float]:
+        if self.alone_work is None:
+            raise ValueError("call measure_alone() before using slowdowns")
+        return [alone / max(core.work_cycles, 1e-9)
+                for alone, core in zip(self.alone_work, stats.cores)]
+
+    def run_genome(self, genome: Genome) -> SystemStats:
+        """Simulate the mix with the genome's shapers installed.
+
+        Shaper replenishment phases are staggered per core so candidate
+        evaluations don't suffer artificial lockstep credit bursts.
+        """
+        if len(genome) != len(self.traces):
+            raise ValueError("genome must configure every core")
+        num_cores = max(1, len(genome))
+        limiters = [MittsShaper(config, method=self.shaper_method,
+                                phase=core_id * config.replenish_period()
+                                // num_cores)
+                    for core_id, config in enumerate(genome)]
+        system = SimSystem(self.traces, config=self.system_config,
+                           limiters=limiters,
+                           scheduler=self._make_scheduler(len(self.traces)))
+        return system.run(self.run_cycles)
+
+    def __call__(self, genome: Genome) -> float:
+        stats = self.run_genome(genome)
+        self.evaluations += 1
+        return self.objective(stats, genome, self)
+
+
+def resolve_objective(objective) -> ObjectiveFn:
+    """Accept an objective name or a callable."""
+    if callable(objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]
+    except KeyError:
+        raise KeyError(f"unknown objective {objective!r}; "
+                       f"known: {sorted(OBJECTIVES)}") from None

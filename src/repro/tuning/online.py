@@ -1,0 +1,310 @@
+"""Online genetic algorithm (Figure 10): auto-tuning MITTS at runtime.
+
+The tuner runs *inside* one simulation.  A CONFIG_PHASE is made of
+generations of EPOCHs:
+
+1. **Measurement epochs** -- one per core.  The measured core's shaper is
+   opened wide while every other core's traffic is held at the source,
+   approximating MISE's "highest priority mode" request-service-rate
+   measurement through source control (the same trick the paper borrows
+   from MISE, Section IV-B).
+2. **Evaluation epochs** -- each child configuration is installed in the
+   live shapers and run for one EPOCH; the objective (throughput, fairness,
+   performance, or perf/cost) is computed from per-epoch counter deltas
+   using the paper's online slowdown estimate.
+3. At each generation boundary the software runtime evolves the population
+   (crossover + mutation); its overhead (~5000 cycles per invocation in
+   the paper's measurement) is modelled by blocking all memory traffic for
+   ``overhead_cycles`` -- the runtime runs on the cores it manages.
+
+After the last generation the best genome is installed for the RUN_PHASE.
+With ``reconfigure_every`` set, a fresh CONFIG_PHASE starts at each program
+phase boundary (the phase-based online GA of Section IV-D).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from ..core.bins import BinConfig, BinSpec
+from ..core.limiter import NoLimiter, SourceLimiter
+from ..core.shaper import MittsShaper
+from ..metrics.slowdown import mise_online_slowdown
+from ..sim.system import SimSystem
+from .genome import Genome, crossover, mutate, random_genome, seed_genomes
+
+
+class _BlockedLimiter(SourceLimiter):
+    """Releases nothing; used to hold other cores during measurement and
+    to model the tuner's software overhead."""
+
+    def earliest_issue(self, now: int) -> Optional[int]:
+        return None
+
+    def issue(self, cycle: int, req_id: int = -1) -> None:
+        raise RuntimeError("blocked limiter cannot issue")
+
+    def stall_forever(self) -> bool:
+        return True
+
+
+class OnlineGaTuner:
+    """Figure 10's online GA attached to a live :class:`SimSystem`."""
+
+    def __init__(self, system: SimSystem, spec: BinSpec = None,
+                 objective: str = "throughput",
+                 generations: int = 3, population: int = 6,
+                 epoch: int = 4000, elite: int = 2,
+                 mutation_rate: float = 0.2, max_per_bin: int = 64,
+                 overhead_cycles: int = 1000, seed: int = 42,
+                 reconfigure_every: Optional[int] = None,
+                 repair: Optional[Callable[[BinConfig], BinConfig]] = None
+                 ) -> None:
+        if generations < 1 or population < 2:
+            raise ValueError("need >= 1 generation and >= 2 children")
+        if epoch < 100:
+            raise ValueError("epoch must be >= 100 cycles")
+        if objective not in ("throughput", "fairness", "performance",
+                             "perf_per_cost"):
+            raise ValueError(f"unknown online objective {objective!r}")
+        self.system = system
+        self.spec = spec or BinSpec()
+        self.objective = objective
+        self.generations = generations
+        self.population_size = population
+        self.epoch = epoch
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+        self.max_per_bin = max_per_bin
+        self.overhead_cycles = overhead_cycles
+        self.reconfigure_every = reconfigure_every
+        self.repair = repair
+        self._rng = random.Random(seed)
+        self.num_cores = len(system.cores)
+
+        self.alone_rates: List[float] = [0.0] * self.num_cores
+        self.best_genome: Optional[Genome] = None
+        self.best_fitness = float("-inf")
+        self.history: List[float] = []
+        self.config_phase_cycles = 0
+        self.run_phase_started_at: Optional[int] = None
+        #: per-core work counters captured when the RUN_PHASE began, so
+        #: callers can compute run-phase-only rates
+        self.work_at_run_phase: Optional[List[float]] = None
+        self.software_invocations = 0
+
+        self._population: List[Genome] = []
+        self._scored: List[Tuple[float, Genome]] = []
+        self._generation = 0
+        self._child_index = 0
+        self._snapshots: List[dict] = []
+        self._saved_limiters: List[SourceLimiter] = []
+        self._phase_started_at = 0
+        #: True while a CONFIG_PHASE is in flight
+        self.configuring = False
+        # Restarting a CONFIG_PHASE invalidates any still-scheduled epoch
+        # callbacks from the previous one: each callback carries the token
+        # of the phase that scheduled it and no-ops when it is stale.
+        self._phase_token = 0
+
+        engine = system.engine
+        engine.schedule(engine.now, self._begin_config_phase)
+
+    def _schedule(self, delay: int, callback) -> None:
+        """Schedule a callback bound to the current CONFIG_PHASE."""
+        token = self._phase_token
+
+        def guarded() -> None:
+            if token == self._phase_token:
+                callback()
+
+        self.system.engine.schedule_in(delay, guarded)
+
+    def request_reconfigure(self) -> bool:
+        """Start a new CONFIG_PHASE (e.g. on a detected phase change).
+
+        Returns False (and does nothing) when a CONFIG_PHASE is already
+        running; True when a new one was scheduled.
+        """
+        if self.configuring:
+            return False
+        self.system.engine.schedule(self.system.engine.now,
+                                    self._begin_config_phase)
+        return True
+
+    # ------------------------------------------------------------------
+    # phase orchestration
+
+    def _begin_config_phase(self) -> None:
+        self._phase_token += 1
+        self.configuring = True
+        self._phase_started_at = self.system.engine.now
+        self._generation = 0
+        self._child_index = 0
+        self._scored = []
+        self._population = [
+            self._repair_genome(random_genome(self.spec, self.num_cores,
+                                              self._rng, self.max_per_bin))
+            for _ in range(self.population_size)]
+        # Seed with structured candidates so the search starts from sane
+        # operating points rather than pure noise: the previous phase's
+        # winner (for phase adaptation), a generous allocation, and a flat
+        # mid-rate allocation.
+        seeds = list(seed_genomes(self.spec, self.num_cores,
+                                  self.max_per_bin))
+        if self.best_genome is not None:
+            seeds.insert(0, self.best_genome)
+        for index, genome in enumerate(seeds[:len(self._population)]):
+            self._population[index] = self._repair_genome(genome)
+        self._start_measurement(core_index=0)
+
+    def _start_measurement(self, core_index: int) -> None:
+        """Open one core, hold the rest: quasi-alone service rate."""
+        for core_id in range(self.num_cores):
+            limiter = NoLimiter() if core_id == core_index \
+                else _BlockedLimiter()
+            self.system.set_limiter(core_id, limiter)
+        self._take_snapshots()
+        self._schedule(self.epoch,
+                       lambda: self._finish_measurement(core_index))
+
+    def _finish_measurement(self, core_index: int) -> None:
+        delta = self._deltas()[core_index]
+        self.alone_rates[core_index] = delta["dram_requests"] / self.epoch
+        next_core = core_index + 1
+        if next_core < self.num_cores:
+            self._start_measurement(next_core)
+        else:
+            self._start_child_epoch()
+
+    def _install(self, genome: Genome) -> None:
+        """Install a genome's shapers with staggered replenish phases."""
+        for core_id, config in enumerate(genome):
+            phase = core_id * config.replenish_period() // self.num_cores
+            self.system.set_limiter(core_id,
+                                    MittsShaper(config, phase=phase))
+
+    def _start_child_epoch(self) -> None:
+        genome = self._population[self._child_index]
+        self._install(genome)
+        self._take_snapshots()
+        self._schedule(self.epoch, self._finish_child_epoch)
+
+    def _finish_child_epoch(self) -> None:
+        genome = self._population[self._child_index]
+        fitness = self._score_epoch(genome)
+        self._scored.append((fitness, genome))
+        if fitness > self.best_fitness:
+            self.best_fitness = fitness
+            self.best_genome = genome
+        self._child_index += 1
+        if self._child_index < len(self._population):
+            self._start_child_epoch()
+        else:
+            self._end_generation()
+
+    def _end_generation(self) -> None:
+        self._scored.sort(key=lambda pair: pair[0], reverse=True)
+        self.history.append(self._scored[0][0])
+        self._generation += 1
+        self.software_invocations += 1
+        if self._generation >= self.generations:
+            self._apply_overhead(self._begin_run_phase)
+            return
+        self._population = self._evolve()
+        self._scored = []
+        self._child_index = 0
+        self._apply_overhead(self._start_child_epoch)
+
+    def _begin_run_phase(self) -> None:
+        assert self.best_genome is not None
+        self._install(self.best_genome)
+        self.configuring = False
+        now = self.system.engine.now
+        self.run_phase_started_at = now
+        self.work_at_run_phase = [float(core.work_cycles)
+                                  for core in self.system.stats.cores]
+        self.config_phase_cycles += now - self._phase_started_at
+        if self.reconfigure_every is not None:
+            self.system.engine.schedule_in(
+                self.reconfigure_every,
+                lambda: self.request_reconfigure())
+
+    # ------------------------------------------------------------------
+    # GA mechanics
+
+    def _repair_genome(self, genome: Genome) -> Genome:
+        if self.repair is None:
+            return genome
+        return [self.repair(config) for config in genome]
+
+    def _evolve(self) -> List[Genome]:
+        next_population = [genome for _, genome in self._scored[:self.elite]]
+        while len(next_population) < self.population_size:
+            parent_a = self._tournament()
+            parent_b = self._tournament()
+            child = crossover(parent_a, parent_b, self._rng)
+            child = mutate(child, self._rng, self.mutation_rate,
+                           self.max_per_bin)
+            next_population.append(self._repair_genome(child))
+        return next_population
+
+    def _tournament(self, k: int = 3) -> Genome:
+        entrants = [self._scored[self._rng.randrange(len(self._scored))]
+                    for _ in range(k)]
+        return max(entrants, key=lambda pair: pair[0])[1]
+
+    # ------------------------------------------------------------------
+    # measurement plumbing
+
+    def _take_snapshots(self) -> None:
+        self._snapshots = [core.snapshot()
+                           for core in self.system.stats.cores]
+
+    def _deltas(self) -> List[dict]:
+        deltas = []
+        for index, core in enumerate(self.system.stats.cores):
+            snap = core.snapshot()
+            deltas.append({key: snap[key] - self._snapshots[index][key]
+                           for key in snap})
+        return deltas
+
+    def _score_epoch(self, genome: Genome) -> float:
+        from ..core.pricing import config_price_core_equivalents
+
+        deltas = self._deltas()
+        if self.objective == "performance":
+            return float(sum(d["work_cycles"] for d in deltas))
+        if self.objective == "perf_per_cost":
+            work = sum(d["work_cycles"] for d in deltas)
+            cost = self.num_cores + sum(config_price_core_equivalents(c)
+                                        for c in genome)
+            return work / max(cost, 1e-9)
+        estimates = []
+        for core_id, delta in enumerate(deltas):
+            shared_rate = delta["dram_requests"] / self.epoch
+            stall = delta["shaper_stall_cycles"] \
+                + delta["memory_stall_cycles"]
+            stall_fraction = min(1.0, stall / self.epoch)
+            estimates.append(mise_online_slowdown(
+                self.alone_rates[core_id], shared_rate, stall_fraction))
+        if self.objective == "fairness":
+            return -max(estimates)
+        return -sum(estimates) / len(estimates)
+
+    def _apply_overhead(self, then: Callable[[], None]) -> None:
+        """Model the runtime's software overhead as a memory-side stall."""
+        if self.overhead_cycles <= 0:
+            then()
+            return
+        self._saved_limiters = [port.limiter for port in self.system.ports]
+        for core_id in range(self.num_cores):
+            self.system.set_limiter(core_id, _BlockedLimiter())
+
+        def restore() -> None:
+            for core_id, limiter in enumerate(self._saved_limiters):
+                self.system.set_limiter(core_id, limiter)
+            then()
+
+        self._schedule(self.overhead_cycles, restore)

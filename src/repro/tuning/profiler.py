@@ -1,0 +1,121 @@
+"""Profile-based bin configuration (Section III-F's "basic solution").
+
+"A basic solution is to profile their applications with their specific
+input set and objective functions, and set the configuration based on the
+profile.  Profiling is good for stable workloads with fixed input size."
+
+The profiler runs the application alone, collects its intrinsic memory
+request inter-arrival histogram, and converts it into a bin configuration
+that covers a chosen fraction of the observed demand per replenishment
+period -- no search required.  ``coverage`` trades cost for performance:
+1.0 buys enough credits for every observed request, lower values shave
+the expensive fast bins first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.bins import BinConfig, BinSpec
+from ..sim.system import SimSystem, SystemConfig
+from ..workloads.benchmarks import trace_for
+
+
+@dataclass
+class Profile:
+    """Intrinsic memory behaviour observed during a profiling run."""
+
+    #: memory-request inter-arrival histogram (bucket -> count)
+    histogram: Dict[int, int]
+    #: cycles profiled
+    cycles: int
+    #: total memory requests observed
+    requests: int
+    bucket_width: int = 10
+
+    @property
+    def request_rate(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.requests / self.cycles
+
+
+def profile_application(trace, system_config: SystemConfig,
+                        cycles: int) -> Profile:
+    """Run the application alone and capture its request distribution."""
+    system = SimSystem([trace], config=system_config)
+    stats = system.run(cycles)
+    core = stats.cores[0]
+    return Profile(histogram=dict(core.mem_interarrival),
+                   cycles=stats.cycles,
+                   requests=sum(core.mem_interarrival.values()) + 1,
+                   bucket_width=system.config.interarrival_bucket)
+
+
+def config_from_profile(profile: Profile, spec: BinSpec = None,
+                        coverage: float = 1.0,
+                        headroom: float = 1.25) -> BinConfig:
+    """Convert an intrinsic distribution into a bin configuration.
+
+    Each histogram bucket maps onto the bin covering its inter-arrival
+    time (buckets past the last bin clamp into it, as the hardware does).
+    Credits are scaled so the allocation covers the observed per-period
+    demand times ``headroom``.  With ``coverage < 1``, spending is trimmed
+    from the *fastest* bins first -- they are the expensive ones, and a
+    bursty application degrades most gracefully by queueing its deepest
+    bursts.
+    """
+    if spec is None:
+        spec = BinSpec()
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    if headroom <= 0:
+        raise ValueError("headroom must be positive")
+    if not profile.histogram:
+        return BinConfig.single_bin(spec.num_bins - 1, 1, spec)
+
+    # Observed requests per bin.
+    per_bin = [0.0] * spec.num_bins
+    for bucket, count in profile.histogram.items():
+        interarrival = bucket * profile.bucket_width
+        per_bin[spec.bin_for_interarrival(interarrival)] += count
+
+    # Scale the observation window down to one replenishment period: a
+    # first pass with 1:1 credits yields a period estimate, then credits
+    # are rescaled so demand over that period is covered with headroom.
+    raw = [max(0, math.ceil(c)) for c in per_bin]
+    draft = BinConfig(spec=spec,
+                      credits=tuple(min(spec.max_credits, c)
+                                    for c in raw))
+    period = draft.replenish_period()
+    window_fraction = min(1.0, period / max(1, profile.cycles))
+    credits = [min(spec.max_credits,
+                   max(0, math.ceil(c * window_fraction * headroom)))
+               for c in per_bin]
+    if not any(credits):
+        credits[spec.num_bins - 1] = 1
+
+    if coverage < 1.0:
+        target = max(1, math.ceil(sum(credits) * coverage))
+        index = 0
+        while sum(credits) > target and index < spec.num_bins:
+            excess = sum(credits) - target
+            take = min(credits[index], excess)
+            credits[index] -= take
+            index += 1
+        if not any(credits):
+            credits[spec.num_bins - 1] = 1
+    return BinConfig(spec=spec, credits=tuple(credits))
+
+
+def profile_benchmark(benchmark: str, system_config: SystemConfig,
+                      cycles: int, spec: BinSpec = None,
+                      coverage: float = 1.0, seed: int = 1,
+                      headroom: float = 1.25) -> BinConfig:
+    """One-call profiling pipeline for a named benchmark."""
+    profile = profile_application(trace_for(benchmark, seed=seed),
+                                  system_config, cycles)
+    return config_from_profile(profile, spec=spec, coverage=coverage,
+                               headroom=headroom)

@@ -1,0 +1,40 @@
+"""Workload substrate: synthetic, replayable benchmark traces."""
+
+from .benchmarks import (PARSEC_BENCHMARKS, SERVER_BENCHMARKS,
+                         SPEC_BENCHMARKS, available_benchmarks, profile,
+                         trace_for)
+from .generator import (BenchmarkProfile, PhaseProfile, SyntheticTrace,
+                        thread_traces)
+from .phases import PhaseDetector, PhaseSample, SystemPhaseMonitor
+from .traceio import dump_trace, load_trace, record_benchmark
+from .mixes import (EIGHT_PROGRAM_WORKLOADS, FOUR_PROGRAM_WORKLOADS,
+                    WORKLOADS, workload_names, workload_traces)
+from .trace import ListTrace, TraceEvent, bursty_trace, uniform_trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "EIGHT_PROGRAM_WORKLOADS",
+    "FOUR_PROGRAM_WORKLOADS",
+    "ListTrace",
+    "PARSEC_BENCHMARKS",
+    "PhaseDetector",
+    "PhaseSample",
+    "PhaseProfile",
+    "SERVER_BENCHMARKS",
+    "SPEC_BENCHMARKS",
+    "SyntheticTrace",
+    "SystemPhaseMonitor",
+    "TraceEvent",
+    "WORKLOADS",
+    "available_benchmarks",
+    "bursty_trace",
+    "dump_trace",
+    "load_trace",
+    "profile",
+    "record_benchmark",
+    "thread_traces",
+    "trace_for",
+    "uniform_trace",
+    "workload_names",
+    "workload_traces",
+]

@@ -1,0 +1,43 @@
+"""Table III multi-program workload mixes.
+
+The paper constructs six mixes: workloads 1-3 run four programs, workloads
+4-6 run eight.  "lib" in the paper's Table III is libquantum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .benchmarks import trace_for
+from .generator import SyntheticTrace
+
+
+WORKLOADS: Dict[int, List[str]] = {
+    1: ["gcc", "libquantum", "bzip", "mcf"],
+    2: ["apache", "libquantum", "bhm_mail", "hmmer"],
+    3: ["astar", "bhm_mail", "libquantum", "bzip"],
+    4: ["gcc", "gobmk", "libquantum", "sjeng",
+        "bzip", "mcf", "omnetpp", "h264ref"],
+    5: ["bhm_mail", "astar", "libquantum", "sjeng",
+        "bzip", "mcf", "omnetpp", "h264ref"],
+    6: ["apache", "astar", "gobmk", "sjeng",
+        "bzip", "mcf", "omnetpp", "h264ref"],
+}
+
+FOUR_PROGRAM_WORKLOADS = (1, 2, 3)
+EIGHT_PROGRAM_WORKLOADS = (4, 5, 6)
+
+
+def workload_names(workload_id: int) -> List[str]:
+    """Benchmark names in Table III's workload ``workload_id``."""
+    try:
+        return list(WORKLOADS[workload_id])
+    except KeyError:
+        raise KeyError(f"unknown workload {workload_id}; "
+                       f"known: {sorted(WORKLOADS)}") from None
+
+
+def workload_traces(workload_id: int, seed: int = 1) -> List[SyntheticTrace]:
+    """Traces for every program in a Table III workload."""
+    return [trace_for(name, seed=seed + i)
+            for i, name in enumerate(workload_names(workload_id))]

@@ -1,0 +1,129 @@
+"""Online program-phase detection.
+
+The phase-based online GA of Section IV-D reconfigures MITTS "at the
+beginning of each phase so that it can adapt to program phase change".
+The paper divides applications into five fixed phases; a deployed system
+needs to *detect* phases instead.  :class:`PhaseDetector` implements the
+standard windowed approach: sample a behaviour vector (memory request
+rate, stall fraction) each window and signal a phase change when the
+vector moves more than a threshold (relative Manhattan distance) from the
+running phase centroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class PhaseSample:
+    """Behaviour vector for one observation window."""
+
+    request_rate: float
+    stall_fraction: float
+
+    def as_vector(self) -> List[float]:
+        return [self.request_rate, self.stall_fraction]
+
+
+@dataclass
+class PhaseDetector:
+    """Windowed phase-change detector over behaviour vectors.
+
+    A phase change is declared when a sample's relative distance from the
+    current phase centroid exceeds ``threshold`` for ``confirm``
+    consecutive windows (hysteresis against one-off spikes).
+    """
+
+    threshold: float = 0.5
+    confirm: int = 2
+    #: samples aggregated into the current phase centroid
+    _centroid: Optional[List[float]] = None
+    _samples_in_phase: int = 0
+    _deviant_streak: int = 0
+    #: total phase changes declared
+    changes: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.confirm < 1:
+            raise ValueError("confirm must be >= 1")
+
+    def _distance(self, vector: Sequence[float]) -> float:
+        assert self._centroid is not None
+        total = 0.0
+        for value, center in zip(vector, self._centroid):
+            scale = max(abs(center), 1e-9)
+            total += abs(value - center) / scale
+        return total / len(vector)
+
+    def observe(self, sample: PhaseSample) -> bool:
+        """Feed one window's sample; returns True on a phase change."""
+        vector = sample.as_vector()
+        if self._centroid is None:
+            self._centroid = list(vector)
+            self._samples_in_phase = 1
+            return False
+        if self._distance(vector) > self.threshold:
+            self._deviant_streak += 1
+            if self._deviant_streak >= self.confirm:
+                self._centroid = list(vector)
+                self._samples_in_phase = 1
+                self._deviant_streak = 0
+                self.changes += 1
+                return True
+            return False
+        self._deviant_streak = 0
+        # Running mean keeps the centroid tracking slow drift.
+        self._samples_in_phase += 1
+        weight = 1.0 / self._samples_in_phase
+        self._centroid = [
+            (1 - weight) * center + weight * value
+            for center, value in zip(self._centroid, vector)]
+        return False
+
+
+class SystemPhaseMonitor:
+    """Samples a :class:`~repro.sim.system.SimSystem` into a detector.
+
+    Attach with ``monitor = SystemPhaseMonitor(system, window=5000)``;
+    ``monitor.changes_at`` records the cycles at which any core changed
+    phase, and an optional callback fires on each change (the hook the
+    phase-based online GA uses to trigger a new CONFIG_PHASE).
+    """
+
+    def __init__(self, system, window: int = 5_000,
+                 threshold: float = 0.6, confirm: int = 2,
+                 on_change=None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.system = system
+        self.window = window
+        self.on_change = on_change
+        self.detectors = [PhaseDetector(threshold=threshold,
+                                        confirm=confirm)
+                          for _ in system.cores]
+        self._snapshots = [core.snapshot() for core in system.stats.cores]
+        self.changes_at: List[int] = []
+        system.every(window, self._tick)
+
+    def _tick(self) -> None:
+        changed = False
+        for index, core in enumerate(self.system.stats.cores):
+            snap = core.snapshot()
+            delta = {key: snap[key] - self._snapshots[index][key]
+                     for key in snap}
+            self._snapshots[index] = snap
+            stall = (delta["memory_stall_cycles"]
+                     + delta["shaper_stall_cycles"])
+            sample = PhaseSample(
+                request_rate=delta["dram_requests"] / self.window,
+                stall_fraction=min(1.0, stall / self.window))
+            if self.detectors[index].observe(sample):
+                changed = True
+        if changed:
+            self.changes_at.append(self.system.engine.now)
+            if self.on_change is not None:
+                self.on_change()

@@ -1,0 +1,71 @@
+"""Trace representation: the unit of work a simulated core replays.
+
+A trace is a sequence of :class:`TraceEvent` -- ``work`` compute cycles
+followed by one memory access to ``address``.  Traces must be *replayable*:
+iterating twice yields the identical sequence, so a program's run alone and
+its run in a shared system replay the same work (the basis of the
+``T_shared / T_single`` slowdown metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence
+
+
+class TraceEvent(NamedTuple):
+    """``work`` compute cycles, then an access to byte ``address``.
+
+    ``depends`` marks the access as data-dependent on the previous event
+    (a pointer chase): the instruction-window core model cannot dispatch
+    it until the previous access's data has returned.  The simple core
+    model ignores the flag (its MLP cap plays the same role).
+    """
+
+    work: int
+    address: int
+    is_write: bool
+    depends: bool = False
+
+
+class ListTrace:
+    """A fixed, in-memory trace (used heavily by the tests)."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self._events: List[TraceEvent] = list(events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def uniform_trace(count: int, gap: int, stride: int = 64,
+                  base: int = 0, is_write: bool = False) -> ListTrace:
+    """A perfectly regular trace: constant gap, sequential lines.
+
+    This is the "constant memory traffic" pattern at the top of Figure 1 --
+    its inter-arrival distribution is a single pulse.
+    """
+    if count < 0 or gap < 0:
+        raise ValueError("count and gap must be non-negative")
+    return ListTrace([TraceEvent(gap, base + i * stride, is_write)
+                      for i in range(count)])
+
+
+def bursty_trace(bursts: int, burst_len: int, burst_gap: int,
+                 idle_gap: int, stride: int = 64,
+                 base: int = 0) -> ListTrace:
+    """Alternating burst/idle trace: the middle pattern of Figure 1.
+
+    Its inter-arrival distribution has two pulses: one at ``burst_gap`` and
+    one at ``idle_gap``.
+    """
+    events = []
+    address = base
+    for _ in range(bursts):
+        for i in range(burst_len):
+            gap = idle_gap if i == 0 else burst_gap
+            events.append(TraceEvent(gap, address, False))
+            address += stride
+    return ListTrace(events)

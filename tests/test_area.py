@@ -1,0 +1,66 @@
+"""Unit tests for the hardware cost model."""
+
+import pytest
+
+from repro.core.area import (MittsAreaModel, PUBLISHED_AREA_MM2,
+                             PUBLISHED_CORE_FRACTION)
+from repro.core.bins import BinSpec
+
+
+class TestBitInventory:
+    def test_credit_registers_are_ten_bits(self):
+        """max 1024 credits -> 10-bit registers, as in the tape-out."""
+        assert MittsAreaModel().credit_register_bits == 10
+
+    def test_bin_storage_two_registers_per_bin(self):
+        model = MittsAreaModel()
+        inventory = model.inventory()
+        assert inventory["bin_storage_bits"] == 10 * 2 * 10
+
+    def test_pending_table_sized_by_mshrs(self):
+        model = MittsAreaModel(pending_entries=8)
+        # 8 entries x ceil(log2(10 bins)) = 8 x 4 bits
+        assert model.inventory()["pending_table_bits"] == 32
+
+    def test_storage_grows_with_bins(self):
+        small = MittsAreaModel(spec=BinSpec(num_bins=4))
+        large = MittsAreaModel(spec=BinSpec(num_bins=16))
+        assert large.storage_bits > small.storage_bits
+
+    def test_interarrival_counter_covers_bin_span(self):
+        model = MittsAreaModel()
+        # span = 100 cycles -> 7 bits
+        assert model.interarrival_counter_bits == 7
+
+
+class TestCalibration:
+    def test_default_matches_published_area(self):
+        model = MittsAreaModel()
+        assert model.area_mm2() == pytest.approx(PUBLISHED_AREA_MM2)
+
+    def test_default_matches_published_core_fraction(self):
+        model = MittsAreaModel()
+        assert model.core_fraction() == pytest.approx(
+            PUBLISHED_CORE_FRACTION)
+
+    def test_core_fraction_below_paper_bound(self):
+        assert MittsAreaModel().core_fraction() <= 0.009 + 1e-9
+
+    def test_fewer_bins_cost_less(self):
+        four = MittsAreaModel(spec=BinSpec(num_bins=4))
+        assert four.area_mm2() < PUBLISHED_AREA_MM2
+
+    def test_explicit_core_area(self):
+        model = MittsAreaModel()
+        assert model.core_fraction(core_area_mm2=1.0) == pytest.approx(
+            model.area_mm2())
+
+    def test_inventory_totals_consistent(self):
+        model = MittsAreaModel()
+        inventory = model.inventory()
+        expected = (inventory["bin_storage_bits"]
+                    + inventory["pending_table_bits"]
+                    + inventory["period_counter_bits"]
+                    + inventory["interarrival_counter_bits"]
+                    + inventory["logic_equivalent_bits"])
+        assert inventory["total_bits"] == expected

@@ -1,0 +1,151 @@
+"""Unit tests for bin geometry and configurations."""
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+
+
+class TestBinSpec:
+    def test_default_geometry_matches_paper(self):
+        spec = BinSpec()
+        assert spec.num_bins == 10
+        assert spec.interval_length == 10
+        assert spec.max_credits == 1024
+
+    def test_centers_are_bin_midpoints(self):
+        spec = BinSpec()
+        assert spec.center(0) == 5.0
+        assert spec.center(1) == 15.0
+        assert spec.center(9) == 95.0
+
+    def test_centers_tuple_matches_center(self):
+        spec = BinSpec(num_bins=4, interval_length=20)
+        assert spec.centers == tuple(spec.center(i) for i in range(4))
+
+    def test_lower_edge(self):
+        spec = BinSpec()
+        assert spec.lower_edge(0) == 0
+        assert spec.lower_edge(3) == 30
+
+    def test_bin_for_interarrival_boundaries(self):
+        spec = BinSpec()
+        assert spec.bin_for_interarrival(0) == 0
+        assert spec.bin_for_interarrival(9) == 0
+        assert spec.bin_for_interarrival(10) == 1
+        assert spec.bin_for_interarrival(95) == 9
+
+    def test_bin_for_interarrival_clamps_to_last_bin(self):
+        spec = BinSpec()
+        assert spec.bin_for_interarrival(100) == 9
+        assert spec.bin_for_interarrival(10_000) == 9
+
+    def test_bin_for_negative_interarrival_rejected(self):
+        with pytest.raises(ValueError):
+            BinSpec().bin_for_interarrival(-1)
+
+    def test_center_out_of_range_rejected(self):
+        spec = BinSpec()
+        with pytest.raises(IndexError):
+            spec.center(10)
+        with pytest.raises(IndexError):
+            spec.lower_edge(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_bins=0), dict(interval_length=0), dict(max_credits=0),
+    ])
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BinSpec(**kwargs)
+
+    def test_bandwidth_of_bin_decreases_with_index(self):
+        spec = BinSpec()
+        bandwidths = [spec.bandwidth_of_bin(i) for i in range(10)]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_custom_interval_length(self):
+        spec = BinSpec(interval_length=32)
+        assert spec.center(0) == 16.0
+        assert spec.bin_for_interarrival(31) == 0
+        assert spec.bin_for_interarrival(32) == 1
+
+
+class TestBinConfig:
+    def test_from_credits_defaults_to_paper_spec(self):
+        config = BinConfig.from_credits([1] * 10)
+        assert config.spec.num_bins == 10
+        assert config.total_credits == 10
+
+    def test_credit_vector_length_must_match(self):
+        with pytest.raises(ValueError):
+            BinConfig(spec=BinSpec(), credits=(1, 2, 3))
+
+    def test_negative_credits_rejected(self):
+        with pytest.raises(ValueError):
+            BinConfig.from_credits([1] * 9 + [-1])
+
+    def test_credits_beyond_max_rejected(self):
+        spec = BinSpec(max_credits=8)
+        with pytest.raises(ValueError):
+            BinConfig(spec=spec, credits=tuple([9] + [0] * 9))
+
+    def test_single_bin_constructor(self):
+        config = BinConfig.single_bin(3, 7)
+        assert config.credits[3] == 7
+        assert config.total_credits == 7
+
+    def test_unlimited_is_fastest_bin(self):
+        config = BinConfig.unlimited()
+        assert config.credits[0] == config.spec.max_credits
+        assert sum(config.credits[1:]) == 0
+
+    def test_average_interval_single_bin(self):
+        config = BinConfig.single_bin(2, 5)  # t_2 = 25
+        assert config.average_interval() == pytest.approx(25.0)
+
+    def test_average_interval_weighted(self):
+        config = BinConfig.from_credits([1, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+        # (5 + 95) / 2
+        assert config.average_interval() == pytest.approx(50.0)
+
+    def test_average_interval_empty_config_is_infinite(self):
+        config = BinConfig.from_credits([0] * 10)
+        assert config.average_interval() == float("inf")
+
+    def test_replenish_period_is_credit_weighted_time(self):
+        config = BinConfig.single_bin(0, 10)  # 10 credits x t=5
+        assert config.replenish_period() == 50
+
+    def test_average_bandwidth_equals_line_over_interval(self):
+        config = BinConfig.from_credits([4, 2, 0, 1, 0, 0, 0, 0, 0, 0])
+        expected = 64 / config.average_interval()
+        assert config.average_bandwidth() == pytest.approx(expected,
+                                                           rel=0.05)
+
+    def test_with_credits_functional_update(self):
+        config = BinConfig.from_credits([1] * 10)
+        updated = config.with_credits(0, 5)
+        assert updated.credits[0] == 5
+        assert config.credits[0] == 1  # original unchanged
+
+    def test_scaled_halving(self):
+        config = BinConfig.from_credits([8, 4, 2, 0, 0, 0, 0, 0, 0, 0])
+        half = config.scaled(0.5)
+        assert half.credits[:3] == (4, 2, 1)
+
+    def test_scaled_clamps_to_max(self):
+        spec = BinSpec(max_credits=10)
+        config = BinConfig(spec=spec, credits=tuple([10] + [0] * 9))
+        doubled = config.scaled(2.0)
+        assert doubled.credits[0] == 10
+
+    def test_as_list_copies(self):
+        config = BinConfig.from_credits([1] * 10)
+        listed = config.as_list()
+        listed[0] = 99
+        assert config.credits[0] == 1
+
+    def test_bandwidth_identity_b_avg_is_inverse_i_avg(self):
+        """B_avg * I_avg == line_bytes: the Section IV-C identity."""
+        config = BinConfig.from_credits([3, 1, 4, 1, 5, 0, 2, 0, 0, 1])
+        product = config.average_bandwidth() * config.average_interval()
+        assert product == pytest.approx(64, rel=0.02)

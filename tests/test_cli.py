@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "hw_cost" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["hw_cost"]) == 0
+        out = capsys.readouterr().out
+        assert "=== hw_cost" in out
+        assert "core fraction" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_no_experiments_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hw_cost", "--scale", "huge"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["hw_cost", "--seed", "7"]) == 0
+        assert "seed 7" in capsys.readouterr().out
+
+
+class TestReconfigureApi:
+    def test_request_reconfigure_rejected_while_configuring(self):
+        from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+        from repro.tuning.online import OnlineGaTuner
+        from repro.workloads.benchmarks import trace_for
+
+        system = SimSystem([trace_for("gcc"), trace_for("mcf", seed=2)],
+                           config=SCALED_MULTI_CONFIG)
+        tuner = OnlineGaTuner(system, generations=1, population=3,
+                              epoch=1_000, overhead_cycles=0)
+        system.run(500)  # inside the CONFIG_PHASE
+        assert tuner.configuring
+        assert not tuner.request_reconfigure()
+
+    def test_request_reconfigure_accepted_in_run_phase(self):
+        from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+        from repro.tuning.online import OnlineGaTuner
+        from repro.workloads.benchmarks import trace_for
+
+        system = SimSystem([trace_for("gcc"), trace_for("mcf", seed=2)],
+                           config=SCALED_MULTI_CONFIG)
+        tuner = OnlineGaTuner(system, generations=1, population=3,
+                              epoch=800, overhead_cycles=0)
+        system.run(40_000)
+        assert not tuner.configuring
+        first_run_phase = tuner.run_phase_started_at
+        assert tuner.request_reconfigure()
+        system.run(40_000)
+        assert tuner.run_phase_started_at > first_run_phase
+
+    def test_stale_epoch_callbacks_ignored(self):
+        """Restarting mid-CONFIG_PHASE must not corrupt the state machine
+        (the bug the phase tokens exist to prevent)."""
+        from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+        from repro.tuning.online import OnlineGaTuner
+        from repro.workloads.benchmarks import trace_for
+
+        system = SimSystem([trace_for("gcc"), trace_for("mcf", seed=2)],
+                           config=SCALED_MULTI_CONFIG)
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=1_000, overhead_cycles=0)
+        system.run(3_500)  # mid-phase
+        tuner._begin_config_phase()  # forced restart (stale events live)
+        system.run(60_000)  # must complete without IndexError
+        assert tuner.best_genome is not None

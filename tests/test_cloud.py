@@ -1,0 +1,142 @@
+"""Unit tests for the IaaS economics layer."""
+
+import pytest
+
+from repro.cloud.customer import Customer, deadline_utility, linear_utility
+from repro.cloud.market import Bid, CreditMarket, demand_to_bids
+from repro.cloud.provision import (best_static_config, even_split_configs,
+                                   heterogeneous_static_configs,
+                                   perf_per_cost)
+from repro.core.bins import BinConfig, BinSpec
+from repro.core.pricing import credit_price
+
+
+SPEC = BinSpec()
+
+
+class TestCustomer:
+    def test_linear_utility(self):
+        customer = Customer(name="a", benchmark="mcf", budget=10.0)
+        assert customer.value_of(42.0) == 42.0
+
+    def test_deadline_utility_saturates(self):
+        utility = deadline_utility(100.0)
+        assert utility(150.0) == 100.0
+        assert utility(50.0) == 25.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Customer(name="a", benchmark="mcf", budget=-1.0)
+
+    def test_deadline_threshold_validated(self):
+        with pytest.raises(ValueError):
+            deadline_utility(0.0)
+
+
+class TestMarket:
+    def customers(self):
+        return [Customer(name="rich", benchmark="mcf", budget=1000.0),
+                Customer(name="poor", benchmark="sjeng", budget=1.0)]
+
+    def test_supply_length_validated(self):
+        with pytest.raises(ValueError):
+            CreditMarket(SPEC, supply=[1, 2, 3])
+
+    def test_highest_value_bid_wins_scarce_supply(self):
+        market = CreditMarket(SPEC, supply=[1] + [0] * 9)
+        price = market.floor_price(0)
+        customers = self.customers()
+        bids = [Bid("rich", 0, 1, price * 2.0),
+                Bid("poor", 0, 1, price * 1.1)]
+        outcome = market.clear(customers, bids)
+        assert outcome.allocations["rich"].credits[0] == 1
+        assert outcome.allocations["poor"].credits[0] == 0
+
+    def test_below_reserve_not_sold(self):
+        market = CreditMarket(SPEC, supply=[5] + [0] * 9)
+        customers = self.customers()
+        bids = [Bid("rich", 0, 5, market.floor_price(0) * 0.5)]
+        outcome = market.clear(customers, bids)
+        assert outcome.allocations["rich"].total_credits == 0
+        assert outcome.unsold[0] == 5
+
+    def test_budget_limits_purchase(self):
+        market = CreditMarket(SPEC, supply=[100] + [0] * 9)
+        price = market.floor_price(0)
+        poor = Customer(name="poor", benchmark="sjeng",
+                        budget=price * 2.5)
+        bids = [Bid("poor", 0, 100, price * 2)]
+        outcome = market.clear([poor], bids)
+        assert outcome.allocations["poor"].credits[0] == 2
+        assert outcome.spend["poor"] <= poor.budget
+
+    def test_revenue_matches_spend(self):
+        market = CreditMarket(SPEC, supply=[4] * 10)
+        customers = self.customers()
+        bids = demand_to_bids(customers[0],
+                              BinConfig.from_credits([2] * 10),
+                              markup=1.5)
+        outcome = market.clear(customers, bids)
+        assert outcome.revenue == pytest.approx(
+            sum(outcome.spend.values()))
+
+    def test_unknown_customer_rejected(self):
+        market = CreditMarket(SPEC, supply=[1] * 10)
+        with pytest.raises(ValueError):
+            market.clear(self.customers(),
+                         [Bid("stranger", 0, 1, 100.0)])
+
+    def test_invalid_bin_rejected(self):
+        market = CreditMarket(SPEC, supply=[1] * 10)
+        with pytest.raises(ValueError):
+            market.clear(self.customers(), [Bid("rich", 99, 1, 100.0)])
+
+    def test_purchase_recorded_on_customer(self):
+        market = CreditMarket(SPEC, supply=[4] * 10)
+        customers = self.customers()
+        market.clear(customers, demand_to_bids(
+            customers[0], BinConfig.from_credits([1] * 10)))
+        assert customers[0].purchased is not None
+
+    def test_demand_to_bids_skips_empty_bins(self):
+        customer = Customer(name="a", benchmark="mcf", budget=10.0)
+        bids = demand_to_bids(customer, BinConfig.single_bin(3, 5))
+        assert len(bids) == 1
+        assert bids[0].bin_index == 3
+        assert bids[0].quantity == 5
+
+    def test_floor_price_matches_pricing_module(self):
+        market = CreditMarket(SPEC, supply=[1] * 10)
+        assert market.floor_price(2) == credit_price(SPEC, 2)
+
+
+class TestProvisionHelpers:
+    def test_perf_per_cost(self):
+        config = BinConfig.single_bin(9, 4)
+        value = perf_per_cost(1000.0, config)
+        assert value > 0
+        assert value < 1000.0  # cost exceeds the bare core
+
+    def test_even_split(self):
+        configs = even_split_configs(SPEC, 4, total_credits=32)
+        assert len(configs) == 4
+        assert all(c.total_credits == 8 for c in configs)
+        assert len({c.credits for c in configs}) == 1
+
+    def test_heterogeneous_split_proportional(self):
+        configs = heterogeneous_static_configs(SPEC, [3.0, 1.0],
+                                               total_credits=32)
+        assert configs[0].total_credits > configs[1].total_credits
+
+    def test_heterogeneous_requires_demand(self):
+        with pytest.raises(ValueError):
+            heterogeneous_static_configs(SPEC, [0.0, 0.0], 32)
+
+    def test_best_static_config_searches_single_bins(self):
+        from repro.sim.system import SCALED_SINGLE_CONFIG
+        from repro.workloads.benchmarks import trace_for
+        config, score = best_static_config(
+            trace_for("sjeng"), SCALED_SINGLE_CONFIG, cycles=5_000,
+            max_credits=4)
+        assert score > 0
+        assert sum(1 for c in config.credits if c > 0) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for configuration-space constraints and static baselines."""
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+from repro.core.config_space import (bandwidth_for_interval,
+                                     interval_for_bandwidth,
+                                     matches_static, repair_to_constraints,
+                                     static_config_for_bandwidth,
+                                     static_configs)
+
+
+class TestConversions:
+    def test_interval_for_one_gbps(self):
+        # 1 GB/s at 2.4 GHz, 64B lines: 2.4e9 / (1e9/64) = 153.6 cycles
+        assert interval_for_bandwidth(1e9) == pytest.approx(153.6)
+
+    def test_roundtrip(self):
+        interval = interval_for_bandwidth(3.2e9)
+        assert bandwidth_for_interval(interval) == pytest.approx(3.2e9)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            interval_for_bandwidth(0)
+        with pytest.raises(ValueError):
+            bandwidth_for_interval(-1)
+
+
+class TestMatchesStatic:
+    def test_exact_match(self):
+        config = BinConfig.single_bin(4, 32)  # I_avg = 45
+        assert matches_static(config, static_interval=45.0,
+                              total_credits=32)
+
+    def test_interval_mismatch(self):
+        config = BinConfig.single_bin(0, 32)  # I_avg = 5
+        assert not matches_static(config, static_interval=45.0,
+                                  total_credits=32)
+
+    def test_credit_mismatch(self):
+        config = BinConfig.single_bin(4, 8)
+        assert not matches_static(config, static_interval=45.0,
+                                  total_credits=32)
+
+    def test_empty_config_never_matches(self):
+        config = BinConfig.from_credits([0] * 10)
+        assert not matches_static(config, static_interval=45.0,
+                                  total_credits=0)
+
+
+class TestRepair:
+    def test_repair_hits_total_credits_exactly(self):
+        spec = BinSpec()
+        config = repair_to_constraints([5] * 10, spec,
+                                       static_interval=45.0,
+                                       total_credits=32)
+        assert config.total_credits == 32
+
+    def test_repair_brings_interval_close(self):
+        spec = BinSpec()
+        config = repair_to_constraints([50, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                                       spec, static_interval=65.0,
+                                       total_credits=24)
+        assert abs(config.average_interval() - 65.0) \
+            <= spec.interval_length
+
+    def test_repair_of_zero_vector(self):
+        spec = BinSpec()
+        config = repair_to_constraints([0] * 10, spec,
+                                       static_interval=45.0,
+                                       total_credits=16)
+        assert config.total_credits == 16
+
+    def test_repaired_config_satisfies_matches_static(self):
+        spec = BinSpec()
+        for raw in ([9, 1, 0, 0, 3, 0, 0, 2, 0, 0],
+                    [0, 0, 0, 0, 0, 0, 0, 0, 0, 40],
+                    [7] * 10):
+            config = repair_to_constraints(raw, spec,
+                                           static_interval=55.0,
+                                           total_credits=20)
+            assert matches_static(config, static_interval=55.0,
+                                  total_credits=20,
+                                  interval_tolerance=0.15)
+
+    def test_repair_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            repair_to_constraints([1, 2, 3], BinSpec(),
+                                  static_interval=45.0, total_credits=8)
+
+
+class TestStaticConfigs:
+    def test_all_single_bin(self):
+        for config in static_configs(BinSpec(), max_credits=16):
+            populated = [c for c in config.credits if c > 0]
+            assert len(populated) == 1
+
+    def test_ladder_covers_all_bins(self):
+        spec = BinSpec()
+        bins_seen = {tuple(config.credits).index(config.total_credits)
+                     for config in static_configs(spec, max_credits=16)}
+        assert bins_seen == set(range(spec.num_bins))
+
+    def test_ladder_includes_max(self):
+        configs = list(static_configs(BinSpec(), max_credits=12))
+        assert any(config.total_credits == 12 for config in configs)
+
+    def test_static_config_for_bandwidth_picks_nearest_bin(self):
+        spec = BinSpec()
+        # ~45-cycle interval -> bin 4
+        config = static_config_for_bandwidth(
+            spec, bandwidth_for_interval(45.0))
+        assert config.credits[4] > 0

@@ -1,0 +1,83 @@
+"""Tests for the congestion-feedback extension (Section III-C future work)."""
+
+import pytest
+
+from repro.core.bins import BinConfig
+from repro.core.congestion import CongestionController
+from repro.core.shaper import MittsShaper
+from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+from repro.workloads.benchmarks import trace_for
+
+
+def make_system(num=4, credits=None):
+    traces = [trace_for(name, seed=i + 1) for i, name in enumerate(
+        ["mcf", "libquantum", "omnetpp", "h264ref"][:num])]
+    config = credits or BinConfig.unlimited()
+    limiters = [MittsShaper(config) for _ in traces]
+    return SimSystem(traces, config=SCALED_MULTI_CONFIG,
+                     limiters=limiters)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(epoch=0),
+        dict(scale_down=1.5),
+        dict(recover=0.9),
+        dict(floor=0.0),
+        dict(high_water=4, low_water=8),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CongestionController(make_system(), **kwargs)
+
+
+class TestBehaviour:
+    def test_scales_down_under_congestion(self):
+        system = make_system()
+        controller = CongestionController(system, epoch=1_000,
+                                          high_water=6, low_water=2)
+        system.run(60_000)
+        assert controller.scale_down_events > 0
+        assert controller.current_scale < 1.0
+
+    def test_shapers_actually_throttled(self):
+        system = make_system()
+        CongestionController(system, epoch=1_000, high_water=6,
+                             low_water=2)
+        system.run(60_000)
+        limiter = system.limiter(0)
+        assert limiter.config.total_credits \
+            < BinConfig.unlimited().total_credits
+
+    def test_never_exceeds_nominal(self):
+        nominal = BinConfig.from_credits([8, 4, 2, 2, 1, 1, 1, 1, 1, 1])
+        system = make_system(credits=nominal)
+        controller = CongestionController(system, epoch=1_000,
+                                          high_water=4, low_water=1)
+        system.run(40_000)
+        for core_id in range(4):
+            limiter = system.limiter(core_id)
+            assert limiter.config.total_credits <= nominal.total_credits
+
+    def test_recovers_when_quiet(self):
+        # A light mix that never congests: scale must stay at 1.
+        traces = [trace_for("sjeng"), trace_for("gobmk", seed=2)]
+        limiters = [MittsShaper(BinConfig.unlimited()) for _ in traces]
+        system = SimSystem(traces, config=SCALED_MULTI_CONFIG,
+                           limiters=limiters)
+        controller = CongestionController(system, epoch=1_000,
+                                          high_water=30, low_water=5)
+        system.run(40_000)
+        assert controller.current_scale == 1.0
+        assert controller.scale_down_events == 0
+
+    def test_non_mitts_limiters_untouched(self):
+        from repro.core.limiter import NoLimiter
+        traces = [trace_for("mcf"), trace_for("libquantum", seed=2)]
+        system = SimSystem(traces, config=SCALED_MULTI_CONFIG,
+                           limiters=[NoLimiter(),
+                                     MittsShaper(BinConfig.unlimited())])
+        CongestionController(system, epoch=1_000, high_water=4,
+                             low_water=1)
+        system.run(30_000)
+        assert isinstance(system.limiter(0), NoLimiter)

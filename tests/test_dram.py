@@ -1,0 +1,177 @@
+"""Unit tests for the DRAM substrate: timing, mapping, banks, device."""
+
+import pytest
+
+from repro.dram.address_map import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.device import DramDevice
+from repro.dram.timing import DDR3_1333, DramTiming
+
+
+class TestTiming:
+    def test_table_ii_geometry(self):
+        assert DDR3_1333.channels == 1
+        assert DDR3_1333.ranks_per_channel == 1
+        assert DDR3_1333.banks_per_rank == 8
+        assert DDR3_1333.row_buffer_bytes == 8192
+
+    def test_memory_clock_conversion(self):
+        # 9 memory clocks at 3.6 CPU cycles each, rounded
+        assert DDR3_1333.t_cl == 32
+
+    def test_latency_ordering(self):
+        t = DDR3_1333
+        assert t.row_hit_latency < t.row_closed_latency \
+            < t.row_conflict_latency
+
+    def test_peak_bandwidth(self):
+        # one 64B line per burst slot
+        expected = 64 / DDR3_1333.t_bl
+        assert DDR3_1333.peak_bandwidth_bytes_per_cycle() == \
+            pytest.approx(expected)
+
+    def test_total_banks(self):
+        assert DDR3_1333.total_banks == 8
+
+
+class TestAddressMapper:
+    def test_consecutive_lines_walk_columns(self):
+        mapper = AddressMapper(DDR3_1333)
+        first = mapper.map(0)
+        second = mapper.map(64)
+        assert second.row == first.row
+        assert second.bank == first.bank
+        assert second.column == first.column + 1
+
+    def test_row_spans_row_buffer_bytes(self):
+        mapper = AddressMapper(DDR3_1333)
+        lines_per_row = DDR3_1333.row_buffer_bytes // 64
+        last_in_row = mapper.map((lines_per_row - 1) * 64)
+        next_row = mapper.map(lines_per_row * 64)
+        assert last_in_row.bank == 0
+        assert next_row.bank == 1  # next bank before wrapping rows
+
+    def test_bank_index_range(self):
+        mapper = AddressMapper(DDR3_1333)
+        indices = {mapper.bank_index(i * DDR3_1333.row_buffer_bytes)
+                   for i in range(16)}
+        assert indices == set(range(8))
+
+    def test_distinct_rows_after_all_banks(self):
+        mapper = AddressMapper(DDR3_1333)
+        stride = DDR3_1333.row_buffer_bytes * DDR3_1333.banks_per_rank
+        a = mapper.map(0)
+        b = mapper.map(stride)
+        assert b.bank == a.bank
+        assert b.row == a.row + 1
+
+
+class TestBank:
+    def test_closed_bank_latency(self):
+        bank = Bank(DDR3_1333)
+        done = bank.access(row=5, now=0)
+        assert done == DDR3_1333.row_closed_latency
+
+    def test_row_hit_latency(self):
+        bank = Bank(DDR3_1333)
+        bank.access(row=5, now=0)
+        start = bank.ready_cycle
+        done = bank.access(row=5, now=start)
+        assert done - start == DDR3_1333.row_hit_latency
+        assert bank.row_hits == 1
+
+    def test_row_conflict_includes_precharge(self):
+        bank = Bank(DDR3_1333)
+        bank.access(row=5, now=0)
+        # Move far past tRC so only the conflict latency matters.
+        now = 10_000
+        done = bank.access(row=6, now=now)
+        assert done - now == DDR3_1333.row_conflict_latency
+
+    def test_trc_gates_back_to_back_activates(self):
+        bank = Bank(DDR3_1333)
+        bank.access(row=1, now=0)
+        done = bank.access(row=2, now=1)
+        # Second activate cannot start before tRC after the first.
+        assert done >= DDR3_1333.t_rc
+
+    def test_row_hits_pipeline_at_burst_rate(self):
+        bank = Bank(DDR3_1333)
+        bank.access(row=1, now=0)
+        first_ready = bank.ready_cycle
+        bank.access(row=1, now=first_ready)
+        # Ready advanced by ~tBL, not by the full CAS latency.
+        assert bank.ready_cycle - first_ready <= DDR3_1333.t_bl + 1
+
+    def test_refresh_closes_row(self):
+        bank = Bank(DDR3_1333)
+        bank.access(row=1, now=0)
+        bank.refresh(now=1000)
+        assert bank.open_row is None
+        assert bank.ready_cycle >= 1000 + DDR3_1333.t_rfc
+
+    def test_write_recovery_extends_ready(self):
+        read_bank = Bank(DDR3_1333)
+        write_bank = Bank(DDR3_1333)
+        read_bank.access(row=1, now=0, is_write=False)
+        write_bank.access(row=1, now=0, is_write=True)
+        assert write_bank.ready_cycle == \
+            read_bank.ready_cycle + DDR3_1333.t_wr
+
+
+class TestDevice:
+    def make_device(self, refresh=False):
+        timing = DramTiming(refresh_enabled=refresh)
+        return DramDevice(timing), timing
+
+    def test_streaming_throughput_near_bus_peak(self):
+        device, timing = self.make_device()
+        done = 0
+        requests = 64
+        now = 0
+        for i in range(requests):
+            done = device.service(i * 64, now)
+            now = max(now, done - timing.t_cl)
+        # One line per tBL after the pipeline fills.
+        assert done <= timing.row_closed_latency \
+            + requests * (timing.t_bl + 1)
+
+    def test_row_hit_tracking(self):
+        device, _ = self.make_device()
+        device.service(0, 0)
+        device.service(64, 0)
+        assert device.row_hits == 1
+        assert device.row_misses == 1
+
+    def test_would_row_hit(self):
+        device, _ = self.make_device()
+        assert not device.would_row_hit(0)
+        device.service(0, 0)
+        assert device.would_row_hit(64)
+
+    def test_bus_serialises_parallel_banks(self):
+        device, timing = self.make_device()
+        # Two requests to different banks at the same cycle: second data
+        # burst must wait for the bus.
+        done_a = device.service(0, 0)
+        done_b = device.service(timing.row_buffer_bytes, 0)
+        assert done_b >= done_a + timing.t_bl
+
+    def test_refresh_steals_bandwidth(self):
+        busy, _ = self.make_device(refresh=True)
+        idle, _ = self.make_device(refresh=False)
+        horizon = 200_000
+        now_busy = now_idle = 0
+        count_busy = count_idle = 0
+        while now_busy < horizon:
+            now_busy = busy.service(count_busy * 64, now_busy)
+            count_busy += 1
+        while now_idle < horizon:
+            now_idle = idle.service(count_idle * 64, now_idle)
+            count_idle += 1
+        assert count_busy < count_idle
+
+    def test_bank_ready_cycle_accessor(self):
+        device, _ = self.make_device()
+        device.service(0, 0)
+        assert device.bank_ready_cycle(0) > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the discrete-event engine."""
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(30, lambda: log.append("c"))
+        engine.schedule(10, lambda: log.append("a"))
+        engine.schedule(20, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_cycle_fifo_order(self):
+        engine = Engine()
+        log = []
+        for name in "abcd":
+            engine.schedule(5, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_now_tracks_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+
+    def test_past_scheduling_clamped_to_now(self):
+        engine = Engine()
+        seen = []
+
+        def late():
+            engine.schedule(engine.now - 100, lambda: seen.append(engine.now))
+
+        engine.schedule(50, late)
+        engine.run()
+        assert seen == [50]
+
+    def test_schedule_in_relative(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, lambda: engine.schedule_in(
+            5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [15]
+
+
+class TestHorizon:
+    def test_until_is_exclusive(self):
+        engine = Engine()
+        log = []
+        engine.schedule(10, lambda: log.append(10))
+        engine.run(until=10)
+        assert log == []
+        assert engine.now == 10
+
+    def test_resume_does_not_rerun_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(10, lambda: log.append(10))
+        engine.run(until=10)
+        engine.run(until=20)
+        assert log == [10]
+
+    def test_time_advances_to_horizon_when_idle(self):
+        engine = Engine()
+        engine.run(until=500)
+        assert engine.now == 500
+
+    def test_events_spawned_inside_horizon_run(self):
+        engine = Engine()
+        log = []
+        engine.schedule(5, lambda: engine.schedule(
+            6, lambda: log.append("child")))
+        engine.run(until=10)
+        assert log == ["child"]
+
+
+class TestControl:
+    def test_stop_halts_processing(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1, lambda: (log.append(1), engine.stop()))
+        engine.schedule(2, lambda: log.append(2))
+        engine.run()
+        assert log == [(1, None)] or log == [1]
+        assert engine.pending_events == 1
+
+    def test_max_events(self):
+        engine = Engine()
+        log = []
+        for i in range(5):
+            engine.schedule(i, lambda i=i: log.append(i))
+        engine.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_pending_events_counter(self):
+        engine = Engine()
+        engine.schedule(1, lambda: None)
+        engine.schedule(2, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0

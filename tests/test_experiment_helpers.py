@@ -1,0 +1,96 @@
+"""Tests for the per-experiment helper functions (harness internals)."""
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+from repro.experiments import fig11_static_comparison as fig11
+from repro.experiments import fig16_isolation as fig16
+from repro.experiments import sec4h_threaded as sec4h
+from repro.experiments.common import get_scale
+
+
+class TestFig11Helpers:
+    def test_constrained_spec_covers_static_interval(self):
+        spec = fig11.constrained_spec()
+        assert spec.center(spec.num_bins - 1) >= fig11.STATIC_INTERVAL
+
+    def test_constraint_repair_hits_targets(self):
+        spec = fig11.constrained_spec()
+        raw = BinConfig(spec=spec, credits=tuple([10] * spec.num_bins))
+        repaired = fig11.constraint_repair(raw)
+        assert repaired.total_credits == fig11.TOTAL_CREDITS
+        assert abs(repaired.average_interval() - fig11.STATIC_INTERVAL) \
+            <= spec.interval_length
+
+    def test_static_work_positive(self):
+        assert fig11.static_work("sjeng", 10_000, seed=1) > 0
+
+
+class TestFig16Helpers:
+    def test_even_configs_identical(self):
+        spec = fig16._spec()
+        configs = fig16.even_configs(spec, 4, total_rate=0.02)
+        assert len({c.credits for c in configs}) == 1
+
+    def test_heterogeneous_configs_track_demand(self):
+        spec = fig16._spec()
+        configs = fig16.heterogeneous_configs(spec, [0.04, 0.005],
+                                              total_rate=0.03)
+        # The high-demand program's bin is faster (smaller index).
+        fast_bin = configs[0].credits.index(
+            max(configs[0].credits))
+        slow_bin = configs[1].credits.index(
+            max(configs[1].credits))
+        assert fast_bin <= slow_bin
+
+    def test_capped_repair_enforces_rate_cap(self):
+        spec = fig16._spec()
+        repair = fig16.capped_repair(total_rate=0.02, num_cores=4)
+        greedy = BinConfig.single_bin(0, 32, spec)
+        capped = repair(greedy)
+        assert fig16._rate(capped) <= 2.0 * 0.02 / 4 + 1e-6
+
+    def test_budgeted_objective_penalises_overshoot(self):
+        spec = fig16._spec()
+
+        def flat(stats, genome, evaluator):
+            return 0.0
+
+        wrapped = fig16.budgeted(flat, total_rate=0.01)
+        over = [BinConfig.single_bin(0, 16, spec)] * 4  # 4/16 >> 0.01
+        assert wrapped(None, over, None) < -1.0
+        under = [BinConfig.single_bin(spec.num_bins - 1, 1, spec)]
+        assert wrapped(None, under, None) == 0.0  # 1/304 < 0.01
+
+    def test_bin_for_rate(self):
+        spec = fig16._spec()
+        fast = fig16._bin_for_rate(spec, rate=1.0 / spec.center(0))
+        slow = fig16._bin_for_rate(
+            spec, rate=1.0 / spec.center(spec.num_bins - 1))
+        assert fast == 0
+        assert slow == spec.num_bins - 1
+
+
+class TestSec4hHelpers:
+    def test_total_config_slices_evenly(self):
+        sliced = sec4h.TOTAL_CONFIG.scaled(1.0 / sec4h.THREADS)
+        assert sliced.total_credits * sec4h.THREADS \
+            == sec4h.TOTAL_CONFIG.total_credits
+
+    def test_shared_shaper_period_pinned(self):
+        period = sec4h.TOTAL_CONFIG.replenish_period()
+        shaper = sec4h._shaper(sec4h.TOTAL_CONFIG.scaled(0.25), period)
+        assert shaper.replenisher.period == period
+
+
+class TestScalePlumbing:
+    def test_paper_scale_uses_paper_ga_parameters(self):
+        from repro.tuning.ga import PAPER_GENERATIONS, PAPER_POPULATION
+        scale = get_scale("paper")
+        assert scale.ga_generations == PAPER_GENERATIONS
+        assert scale.ga_population == PAPER_POPULATION
+
+    def test_smoke_subset_is_strict_subset(self):
+        smoke = get_scale("smoke")
+        assert smoke.benchmark_subset is not None
+        assert len(smoke.benchmark_subset) < 18

@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (registry + cheap smoke runs).
+
+The heavier experiments are exercised by the benchmark suite; here we run
+the fast ones end-to-end and validate the harness plumbing for the rest.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, Result, SCALES, get_scale, \
+    run_experiment
+from repro.experiments.common import (benchmarks_for,
+                                      conventional_schedulers,
+                                      measure_alone, mix_bin_spec,
+                                      run_scheduler, slowdowns_against,
+                                      targeted_seeds)
+from repro.experiments import fig02_distributions
+from repro.sim.system import SCALED_MULTI_CONFIG
+from repro.workloads.mixes import workload_traces
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        expected = {"fig02", "fig11", "fig12", "fig13", "fig14", "fig15",
+                    "fig16", "fig17", "fig18", "sec4h", "sec4i",
+                    "hw_cost"}
+        assert expected <= set(REGISTRY)
+
+    def test_ablations_registered(self):
+        assert {"ablation_methods", "ablation_replenish", "ablation_fifo",
+                "ablation_optimizer",
+                "ablation_bin_length"} <= set(REGISTRY)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_scales(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+        assert get_scale("smoke").run_cycles \
+            < get_scale("paper").run_cycles
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_get_scale_passthrough(self):
+        scale = get_scale("smoke")
+        assert get_scale(scale) is scale
+
+
+class TestResultRendering:
+    def test_render_contains_rows_and_summary(self):
+        result = Result(experiment="x", title="Title",
+                        headers=["a", "b"], rows=[["r", 1.25]],
+                        notes=["a note"], summary={"metric": 2.0})
+        text = result.render()
+        assert "Title" in text
+        assert "1.250" in text
+        assert "note: a note" in text
+        assert "metric = 2.0000" in text
+
+
+class TestHarnessHelpers:
+    def test_conventional_scheduler_registry(self):
+        names = set(conventional_schedulers())
+        assert names == {"FR-FCFS", "FairQueue", "TCM", "FST", "MemGuard",
+                         "MISE"}
+
+    def test_run_scheduler_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_scheduler("bogus", workload_traces(1),
+                          SCALED_MULTI_CONFIG, 1000)
+
+    def test_measure_alone_and_slowdowns(self):
+        traces = workload_traces(1)[:2]
+        alone = measure_alone(traces, SCALED_MULTI_CONFIG, 10_000)
+        assert len(alone) == 2
+        stats = run_scheduler("FR-FCFS", traces, SCALED_MULTI_CONFIG,
+                              10_000)
+        slowdowns = slowdowns_against(alone, stats)
+        assert all(s > 0 for s in slowdowns)
+
+    def test_mix_bin_spec_scales_span(self):
+        assert mix_bin_spec(4).interval_length == 10
+        assert mix_bin_spec(8).interval_length == 24
+
+    def test_benchmarks_for_subset(self):
+        scale = get_scale("smoke")
+        subset = benchmarks_for(scale, ("mcf", "gcc", "libquantum"))
+        assert set(subset) <= {"mcf", "gcc", "libquantum"}
+        full = benchmarks_for(get_scale("paper"), ("mcf", "gcc"))
+        assert full == ["mcf", "gcc"]
+
+    def test_targeted_seeds_shape(self):
+        from repro.core.bins import BinSpec
+        from repro.sched.base import FrFcfsScheduler
+        from repro.tuning.objectives import (FitnessEvaluator,
+                                             throughput_objective)
+        traces = workload_traces(1)
+        evaluator = FitnessEvaluator(
+            traces=traces, system_config=SCALED_MULTI_CONFIG,
+            run_cycles=10_000, objective=throughput_objective,
+            scheduler_factory=lambda n: FrFcfsScheduler(n))
+        evaluator.measure_alone()
+        seeds = targeted_seeds(evaluator, BinSpec())
+        assert all(len(genome) == len(traces) for genome in seeds)
+        # Each targeted seed mixes generous and capped configurations.
+        for genome in seeds:
+            totals = {config.total_credits for config in genome}
+            assert len(totals) >= 2
+
+
+class TestCheapExperiments:
+    def test_hw_cost(self):
+        result = run_experiment("hw_cost")
+        assert result.summary["default_area_mm2"] == pytest.approx(0.0035)
+        assert result.summary["default_core_fraction"] <= 0.009 + 1e-9
+        # Area grows monotonically with bin count.
+        areas = [row[3] for row in result.rows]
+        assert areas == sorted(areas)
+
+    def test_fig02_reproduces_request_reduction(self):
+        result = run_experiment("fig02")
+        for benchmark in fig02_distributions.BENCHMARKS:
+            key = f"{benchmark}_request_ratio_large_over_small"
+            assert result.summary[key] < 1.0
+
+    def test_fig02_series_accessor(self):
+        series = fig02_distributions.series("astar",
+                                            fig02_distributions.SMALL_LLC)
+        assert len(series) > 0
+        assert all(count >= 0 for _, count in series)
+
+    def test_ablation_replenish_reset_beats_drip_on_bursts(self):
+        result = run_experiment("ablation_replenish")
+        assert result.summary["reset_work"] \
+            >= 0.95 * result.summary["drip_work"]
+
+    def test_ablation_bin_length_larger_L_throttles_more(self):
+        result = run_experiment("ablation_bin_length")
+        assert result.summary["work_L40"] < result.summary["work_L5"]
+
+    def test_sec4h_shared_beats_per_thread(self):
+        result = run_experiment("sec4h")
+        for benchmark in ("x264", "ferret"):
+            assert result.summary[f"{benchmark}_shared_over_per_thread"] \
+                > 0.5  # sanity floor; magnitude recorded in EXPERIMENTS.md

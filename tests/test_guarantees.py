@@ -1,0 +1,119 @@
+"""Tests for analytic worst-case service guarantees (Section IV-F)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bins import BinConfig
+from repro.core.guarantees import (guaranteed_requests_per_period,
+                                   service_curve, sustainable_bandwidth,
+                                   worst_case_burst_completion,
+                                   worst_case_single_delay)
+from repro.core.shaper import MittsShaper
+
+
+class TestBasicBounds:
+    def test_guaranteed_requests(self):
+        config = BinConfig.from_credits([3, 2, 0, 0, 0, 0, 0, 0, 0, 1])
+        assert guaranteed_requests_per_period(config) == 6
+
+    def test_single_delay_single_fast_bin(self):
+        config = BinConfig.single_bin(0, 4)  # period 20, fastest edge 0
+        assert worst_case_single_delay(config) == 20
+
+    def test_single_delay_includes_aging_to_populated_bin(self):
+        config = BinConfig.single_bin(5, 2)  # period 110, edge 50
+        assert worst_case_single_delay(config) == 110 + 50
+
+    def test_zero_config_rejected(self):
+        config = BinConfig.from_credits([0] * 10)
+        with pytest.raises(ValueError):
+            worst_case_single_delay(config)
+        with pytest.raises(ValueError):
+            worst_case_burst_completion(config, 1)
+
+    def test_burst_within_one_period(self):
+        config = BinConfig.from_credits([4] + [0] * 9)
+        # 4 credits at t=5 spacing after up to one full period's wait.
+        assert worst_case_burst_completion(config, 4) \
+            == config.replenish_period() + 20
+
+    def test_burst_spanning_periods(self):
+        config = BinConfig.from_credits([2] + [0] * 9)
+        one = worst_case_burst_completion(config, 2)
+        two = worst_case_burst_completion(config, 4)
+        assert two > one
+        assert two - one >= config.replenish_period() - 1
+
+    def test_burst_validation(self):
+        config = BinConfig.from_credits([1] * 10)
+        with pytest.raises(ValueError):
+            worst_case_burst_completion(config, 0)
+
+    def test_sustainable_bandwidth_matches_config_math(self):
+        config = BinConfig.from_credits([2, 3, 0, 1, 0, 0, 0, 0, 0, 0])
+        assert sustainable_bandwidth(config) == pytest.approx(
+            config.average_bandwidth(), rel=0.02)
+
+    def test_service_curve_monotone(self):
+        config = BinConfig.from_credits([2, 1] + [0] * 8)
+        period = config.replenish_period()
+        horizons = [0, period - 1, period, 3 * period, 10 * period]
+        curve = service_curve(config, horizons)
+        assert curve == sorted(curve)
+        assert curve[0] == 0
+        assert curve[2] == config.total_credits
+
+    def test_service_curve_validates(self):
+        config = BinConfig.from_credits([1] * 10)
+        with pytest.raises(ValueError):
+            service_curve(config, [-1])
+
+
+class TestBoundsHoldInSimulation:
+    """The analytic bounds must dominate observed shaper behaviour."""
+
+    credit_vectors = st.lists(st.integers(min_value=0, max_value=16),
+                              min_size=10, max_size=10).filter(
+                                  lambda v: sum(v) > 0)
+
+    @given(credit_vectors, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_burst_bound_dominates_shaper(self, credits, burst):
+        config = BinConfig.from_credits(credits)
+        bound = worst_case_burst_completion(config, burst)
+        shaper = MittsShaper(config)
+        # Adversarial start: drain whatever is drainable right now.
+        now = 0
+        while True:
+            release = shaper.earliest_issue(now)
+            if release is None or release > now:
+                break
+            shaper.issue(release, req_id=1000 + now)
+            now = release
+        start = now
+        released = 0
+        while released < burst:
+            release = shaper.earliest_issue(now)
+            assert release is not None
+            shaper.issue(release, req_id=released)
+            released += 1
+            now = release
+        assert now - start <= bound
+
+    @given(credit_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_single_delay_bound_dominates_shaper(self, credits):
+        config = BinConfig.from_credits(credits)
+        bound = worst_case_single_delay(config)
+        shaper = MittsShaper(config)
+        now = 0
+        while True:
+            release = shaper.earliest_issue(now)
+            if release is None or release > now:
+                break
+            shaper.issue(release, req_id=1000 + now)
+            now = release
+        release = shaper.earliest_issue(now)
+        assert release is not None
+        assert release - now <= bound

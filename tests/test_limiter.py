@@ -1,0 +1,122 @@
+"""Unit tests for the source-limiter baselines."""
+
+import pytest
+
+from repro.core.limiter import (NoLimiter, StaticLimiter,
+                                TokenBucketLimiter)
+
+
+class TestNoLimiter:
+    def test_always_immediate(self):
+        limiter = NoLimiter()
+        assert limiter.earliest_issue(0) == 0
+        assert limiter.earliest_issue(12345) == 12345
+        limiter.issue(12345)
+
+    def test_never_stalls_forever(self):
+        assert not NoLimiter().stall_forever()
+
+
+class TestStaticLimiter:
+    def test_first_issue_immediate(self):
+        limiter = StaticLimiter(40)
+        assert limiter.earliest_issue(7) == 7
+
+    def test_enforces_minimum_spacing(self):
+        limiter = StaticLimiter(40)
+        limiter.issue(100)
+        assert limiter.earliest_issue(110) == 140
+
+    def test_spacing_measured_from_last_release(self):
+        limiter = StaticLimiter(40)
+        limiter.issue(0)
+        limiter.issue(40)
+        assert limiter.earliest_issue(50) == 80
+
+    def test_no_banking_of_idle_time(self):
+        """A long idle period earns no extra burst allowance."""
+        limiter = StaticLimiter(40)
+        limiter.issue(0)
+        # After a 400-cycle gap, the next two must still be spaced.
+        assert limiter.earliest_issue(400) == 400
+        limiter.issue(400)
+        assert limiter.earliest_issue(401) == 440
+
+    def test_early_issue_rejected(self):
+        limiter = StaticLimiter(40)
+        limiter.issue(0)
+        with pytest.raises(ValueError):
+            limiter.issue(10)
+
+    def test_set_interval(self):
+        limiter = StaticLimiter(40)
+        limiter.issue(0)
+        limiter.set_interval(10)
+        assert limiter.earliest_issue(5) == 10
+
+    def test_zero_interval_passthrough(self):
+        limiter = StaticLimiter(0)
+        limiter.issue(0)
+        assert limiter.earliest_issue(0) == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StaticLimiter(-1)
+        limiter = StaticLimiter(1)
+        with pytest.raises(ValueError):
+            limiter.set_interval(-5)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        limiter = TokenBucketLimiter(fill_interval=10, capacity=4)
+        for cycle in range(4):
+            assert limiter.earliest_issue(cycle) == cycle
+            limiter.issue(cycle)
+
+    def test_empty_bucket_waits_for_fill(self):
+        limiter = TokenBucketLimiter(fill_interval=10, capacity=1)
+        limiter.issue(0)
+        assert limiter.earliest_issue(0) == 10
+
+    def test_idle_time_banks_up_to_capacity(self):
+        limiter = TokenBucketLimiter(fill_interval=10, capacity=3)
+        for _ in range(3):
+            limiter.issue(0)
+        # 100 idle cycles accrue 10 tokens but cap at 3.
+        limiter._accrue(100)
+        assert limiter._tokens == pytest.approx(3.0)
+
+    def test_burst_after_idle(self):
+        limiter = TokenBucketLimiter(fill_interval=10, capacity=3)
+        for _ in range(3):
+            limiter.issue(0)
+        for _ in range(3):
+            cycle = limiter.earliest_issue(100)
+            assert cycle == 100
+            limiter.issue(cycle)
+        assert limiter.earliest_issue(100) > 100
+
+    def test_issue_without_token_rejected(self):
+        limiter = TokenBucketLimiter(fill_interval=10, capacity=1)
+        limiter.issue(0)
+        with pytest.raises(ValueError):
+            limiter.issue(1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fill_interval=0, capacity=1),
+        dict(fill_interval=1, capacity=0),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(**kwargs)
+
+    def test_capacity_one_behaves_like_static(self):
+        bucket = TokenBucketLimiter(fill_interval=10, capacity=1)
+        static = StaticLimiter(10)
+        for start in (0, 25, 31):
+            b = bucket.earliest_issue(start)
+            s = static.earliest_issue(start)
+            assert abs(b - s) <= 1
+            bucket.issue(b)
+            static.issue(s)

@@ -1,0 +1,122 @@
+"""Tests for the mesh NoC substrate."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.noc import MeshNoc, bank_tile
+from repro.sim.system import SimSystem, single_config
+from repro.workloads.benchmarks import trace_for
+
+
+def make_noc(tiles=9, hop_latency=2, link_occupancy=1):
+    return MeshNoc(Engine(), tiles=tiles, hop_latency=hop_latency,
+                   link_occupancy=link_occupancy)
+
+
+class TestGeometry:
+    def test_square_mesh_derived(self):
+        assert make_noc(9).width == 3
+        assert make_noc(25).width == 5
+        assert make_noc(5).width == 3  # ceil(sqrt(5))
+
+    def test_coordinates_roundtrip(self):
+        noc = make_noc(9)
+        assert noc.coordinates(0) == (0, 0)
+        assert noc.coordinates(4) == (1, 1)
+        assert noc.coordinates(8) == (2, 2)
+
+    def test_coordinates_validated(self):
+        with pytest.raises(ValueError):
+            make_noc(4).coordinates(99)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MeshNoc(Engine(), tiles=0)
+        with pytest.raises(ValueError):
+            MeshNoc(Engine(), tiles=4, hop_latency=0)
+
+
+class TestRouting:
+    def test_manhattan_hops(self):
+        noc = make_noc(9)
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 8) == 4  # (0,0) -> (2,2)
+        assert noc.hops(0, 2) == 2
+
+    def test_route_is_xy(self):
+        noc = make_noc(9)
+        links = noc.route(0, 8)
+        # X first: 0->1->2, then Y: 2->5->8.
+        assert links == [(0, 1), (1, 2), (2, 5), (5, 8)]
+
+    def test_route_length_matches_hops(self):
+        noc = make_noc(16)
+        for src in range(16):
+            for dst in range(16):
+                assert len(noc.route(src, dst)) == noc.hops(src, dst)
+
+
+class TestTraversal:
+    def test_latency_proportional_to_distance(self):
+        # Fresh mesh per measurement: links remember occupancy.
+        assert make_noc(9, hop_latency=3).traverse(0, 0, now=0) == 0
+        assert make_noc(9, hop_latency=3).traverse(0, 1, now=0) == 3
+        assert make_noc(9, hop_latency=3).traverse(0, 8, now=0) == 12
+
+    def test_link_contention_serialises(self):
+        noc = make_noc(9, hop_latency=2, link_occupancy=2)
+        first = noc.traverse(0, 1, now=0)
+        second = noc.traverse(0, 1, now=0)
+        assert second > first
+
+    def test_disjoint_routes_do_not_interfere(self):
+        noc = make_noc(9, hop_latency=2, link_occupancy=4)
+        a = noc.traverse(0, 1, now=0)
+        b = noc.traverse(8, 7, now=0)  # opposite corner, no shared link
+        assert a == b == 2
+
+    def test_stats_counters(self):
+        noc = make_noc(9)
+        noc.traverse(0, 8, now=0)
+        assert noc.flits_routed == 1
+        assert noc.total_hops == 4
+
+    def test_congestion_probe(self):
+        noc = make_noc(4, hop_latency=1, link_occupancy=10)
+        assert noc.congestion(0) == 0.0
+        for _ in range(5):
+            noc.traverse(0, 1, now=0)
+        assert noc.congestion(0) > 0.0
+
+
+class TestBankTile:
+    def test_banks_spread_over_tiles(self):
+        noc = make_noc(16)
+        tiles = {bank_tile(noc, b, 8) for b in range(8)}
+        assert len(tiles) > 1
+
+    def test_invalid_bank_count(self):
+        with pytest.raises(ValueError):
+            bank_tile(make_noc(4), 0, 0)
+
+
+class TestSystemIntegration:
+    def test_noc_adds_latency(self):
+        base = single_config(llc_size=64 * 1024, l1_size=8 * 1024)
+        with_noc = single_config(llc_size=64 * 1024, l1_size=8 * 1024,
+                                 noc_enabled=True, noc_hop_latency=4)
+        trace = trace_for("mcf")
+        plain = SimSystem([trace], config=base).run(30_000)
+        meshed = SimSystem([trace], config=with_noc).run(30_000)
+        assert meshed.cores[0].average_latency \
+            > plain.cores[0].average_latency
+
+    def test_noc_system_multi_core(self):
+        config = single_config(llc_size=256 * 1024, l1_size=8 * 1024,
+                               noc_enabled=True)
+        traces = [trace_for("gcc"), trace_for("mcf", seed=2),
+                  trace_for("libquantum", seed=3)]
+        system = SimSystem(traces, config=config)
+        stats = system.run(30_000)
+        assert all(core.work_cycles > 0 for core in stats.cores)
+        assert system.noc.flits_routed > 0

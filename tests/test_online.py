@@ -1,0 +1,108 @@
+"""Tests for the online GA tuner (Figure 10 state machine)."""
+
+import pytest
+
+from repro.core.shaper import MittsShaper
+from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+from repro.tuning.online import OnlineGaTuner, _BlockedLimiter
+from repro.workloads.benchmarks import trace_for
+
+
+def make_system(benchmarks=("gcc", "mcf")):
+    traces = [trace_for(name, seed=i + 1)
+              for i, name in enumerate(benchmarks)]
+    return SimSystem(traces, config=SCALED_MULTI_CONFIG)
+
+
+class TestLifecycle:
+    def test_run_phase_reached(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=1_000, overhead_cycles=200)
+        system.run(60_000)
+        assert tuner.run_phase_started_at is not None
+        assert tuner.best_genome is not None
+        assert len(tuner.history) == 2
+
+    def test_best_genome_installed_in_run_phase(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=1_000, overhead_cycles=0)
+        system.run(60_000)
+        for core_id, config in enumerate(tuner.best_genome):
+            limiter = system.limiter(core_id)
+            assert isinstance(limiter, MittsShaper)
+            assert limiter.config.credits == config.credits
+
+    def test_measurement_estimates_alone_rates(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=2_000)
+        system.run(60_000)
+        assert all(rate > 0 for rate in tuner.alone_rates)
+
+    def test_config_phase_cycles_accounted(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=1_000, overhead_cycles=100)
+        system.run(60_000)
+        expected_min = (len(system.cores) + 2 * 4) * 1_000
+        assert tuner.config_phase_cycles >= expected_min
+
+    def test_software_overhead_counted(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=3, population=4,
+                              epoch=1_000)
+        system.run(80_000)
+        assert tuner.software_invocations == 3
+
+    def test_work_snapshot_at_run_phase(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=2, population=4,
+                              epoch=1_000)
+        stats = system.run(60_000)
+        assert tuner.work_at_run_phase is not None
+        for snap, core in zip(tuner.work_at_run_phase, stats.cores):
+            assert core.work_cycles >= snap
+
+
+class TestPhaseBasedReconfiguration:
+    def test_reconfigures_at_phase_boundary(self):
+        system = make_system()
+        tuner = OnlineGaTuner(system, generations=1, population=4,
+                              epoch=500, overhead_cycles=0,
+                              reconfigure_every=15_000)
+        system.run(80_000)
+        # More than one CONFIG_PHASE must have completed.
+        assert tuner.software_invocations > 1
+
+
+class TestObjectives:
+    @pytest.mark.parametrize("objective", ["throughput", "fairness",
+                                           "performance", "perf_per_cost"])
+    def test_all_objectives_run(self, objective):
+        system = make_system()
+        tuner = OnlineGaTuner(system, objective=objective, generations=1,
+                              population=3, epoch=800)
+        system.run(30_000)
+        assert tuner.best_genome is not None
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineGaTuner(make_system(), objective="speed")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(generations=0), dict(population=1), dict(epoch=50),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineGaTuner(make_system(), **kwargs)
+
+
+class TestBlockedLimiter:
+    def test_never_releases(self):
+        limiter = _BlockedLimiter()
+        assert limiter.earliest_issue(0) is None
+        assert limiter.stall_forever()
+        with pytest.raises(RuntimeError):
+            limiter.issue(0)

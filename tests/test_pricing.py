@@ -1,0 +1,88 @@
+"""Unit tests for bin-credit pricing."""
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+from repro.core.pricing import (burst_penalty, config_price,
+                                config_price_core_equivalents,
+                                credit_price, price_vector)
+
+
+class TestBurstPenalty:
+    def test_fastest_bin_near_double(self):
+        spec = BinSpec()
+        # 2 - t_0/t_9 = 2 - 5/95
+        assert burst_penalty(spec, 0) == pytest.approx(2 - 5 / 95)
+
+    def test_slowest_bin_exactly_one(self):
+        spec = BinSpec()
+        assert burst_penalty(spec, spec.num_bins - 1) == pytest.approx(1.0)
+
+    def test_penalty_monotonically_decreasing(self):
+        spec = BinSpec()
+        penalties = [burst_penalty(spec, i) for i in range(spec.num_bins)]
+        assert penalties == sorted(penalties, reverse=True)
+
+
+class TestCreditPrice:
+    def test_price_decreasing_with_bin_index(self):
+        spec = BinSpec()
+        prices = price_vector(spec)
+        assert list(prices) == sorted(prices, reverse=True)
+
+    def test_price_proportional_to_bandwidth_times_penalty(self):
+        spec = BinSpec()
+        expected = (64 / spec.center(3)) * burst_penalty(spec, 3)
+        assert credit_price(spec, 3) == pytest.approx(expected)
+
+    def test_config_price_sums_credits(self):
+        spec = BinSpec()
+        config = BinConfig.single_bin(2, 5, spec)
+        assert config_price(config) == pytest.approx(
+            5 * credit_price(spec, 2))
+
+
+class TestCoreEquivalentPricing:
+    def test_empty_config_is_free(self):
+        config = BinConfig.from_credits([0] * 10)
+        assert config_price_core_equivalents(config) == 0.0
+
+    def test_single_bin_price_independent_of_credit_count(self):
+        """All credits in one bin deliver the same average bandwidth
+        regardless of count (T_r scales with credits), so the delivered-
+        bandwidth price must match."""
+        small = BinConfig.single_bin(4, 2)
+        large = BinConfig.single_bin(4, 20)
+        assert config_price_core_equivalents(small) == pytest.approx(
+            config_price_core_equivalents(large), rel=0.01)
+
+    def test_faster_rate_costs_more(self):
+        fast = BinConfig.single_bin(0, 8)
+        slow = BinConfig.single_bin(9, 8)
+        assert config_price_core_equivalents(fast) \
+            > config_price_core_equivalents(slow)
+
+    def test_burst_premium_bounded_by_two(self):
+        """At equal delivered average bandwidth, the bursty allocation
+        costs at most 2x the bulk one (the 2 - t_i/t_N factor)."""
+        spec = BinSpec()
+        fast = BinConfig.single_bin(0, 8, spec)
+        slow = BinConfig.single_bin(9, 8, spec)
+        fast_bw = fast.average_bandwidth()
+        slow_bw = slow.average_bandwidth()
+        fast_unit = config_price_core_equivalents(fast) / fast_bw
+        slow_unit = config_price_core_equivalents(slow) / slow_bw
+        assert 1.0 < fast_unit / slow_unit <= 2.0 + 1e-9
+
+    def test_price_scales_with_delivered_bandwidth(self):
+        """Mixing in more slow-bin credits raises the price by their
+        delivered bandwidth share."""
+        base = BinConfig.from_credits([4] + [0] * 9)
+        richer = BinConfig.from_credits([8] + [0] * 9)
+        # Same single-bin shape: same avg bandwidth, same price.
+        assert config_price_core_equivalents(base) == pytest.approx(
+            config_price_core_equivalents(richer), rel=0.01)
+        mixed = BinConfig.from_credits([4] + [0] * 8 + [4])
+        # Mixed shape delivers a different (lower) average bandwidth.
+        assert config_price_core_equivalents(mixed) \
+            < config_price_core_equivalents(base)

@@ -1,0 +1,102 @@
+"""Tests for profile-based bin configuration (Section III-F)."""
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+from repro.core.shaper import MittsShaper
+from repro.sim.system import SCALED_SINGLE_CONFIG, SimSystem
+from repro.tuning.profiler import (Profile, config_from_profile,
+                                   profile_application, profile_benchmark)
+from repro.workloads.benchmarks import trace_for
+
+
+class TestProfileCapture:
+    def test_profile_collects_histogram(self):
+        profile = profile_application(trace_for("mcf"),
+                                      SCALED_SINGLE_CONFIG, 20_000)
+        assert profile.requests > 10
+        assert profile.cycles == 20_000
+        assert sum(profile.histogram.values()) > 0
+
+    def test_request_rate(self):
+        profile = Profile(histogram={0: 10}, cycles=1000, requests=10)
+        assert profile.request_rate == pytest.approx(0.01)
+
+    def test_empty_profile_rate(self):
+        profile = Profile(histogram={}, cycles=0, requests=0)
+        assert profile.request_rate == 0.0
+
+
+class TestConfigFromProfile:
+    def test_empty_histogram_gives_minimal_config(self):
+        profile = Profile(histogram={}, cycles=1000, requests=0)
+        config = config_from_profile(profile)
+        assert config.total_credits == 1
+
+    def test_buckets_map_to_matching_bins(self):
+        # All requests at ~45-cycle inter-arrival -> bin 4 dominates.
+        profile = Profile(histogram={4: 200}, cycles=9000, requests=200)
+        config = config_from_profile(profile)
+        populated = [i for i, c in enumerate(config.credits) if c > 0]
+        assert populated == [4]
+
+    def test_tail_clamps_into_last_bin(self):
+        profile = Profile(histogram={50: 100}, cycles=50_000,
+                          requests=100)
+        config = config_from_profile(profile)
+        assert config.credits[-1] > 0
+        assert sum(config.credits[:-1]) == 0
+
+    def test_coverage_trims_fast_bins_first(self):
+        profile = Profile(histogram={0: 100, 9: 100}, cycles=10_000,
+                          requests=200)
+        full = config_from_profile(profile, coverage=1.0)
+        trimmed = config_from_profile(profile, coverage=0.5)
+        assert trimmed.total_credits < full.total_credits
+        # The fast end lost more than the slow end.
+        assert (full.credits[0] - trimmed.credits[0]) \
+            >= (full.credits[9] - trimmed.credits[9])
+
+    def test_coverage_validation(self):
+        profile = Profile(histogram={0: 1}, cycles=100, requests=1)
+        with pytest.raises(ValueError):
+            config_from_profile(profile, coverage=0.0)
+        with pytest.raises(ValueError):
+            config_from_profile(profile, headroom=0.0)
+
+    def test_credits_respect_spec_maximum(self):
+        spec = BinSpec(max_credits=8)
+        profile = Profile(histogram={0: 100_000}, cycles=100_000,
+                          requests=100_000)
+        config = config_from_profile(profile, spec=spec)
+        assert all(c <= 8 for c in config.credits)
+
+
+class TestEndToEnd:
+    def test_profiled_config_preserves_most_performance(self):
+        """A full-coverage profiled config should cost little performance
+        relative to running unshaped (that is the point of profiling)."""
+        trace = trace_for("apache")
+        free = SimSystem([trace], config=SCALED_SINGLE_CONFIG)
+        free_work = free.run(40_000).cores[0].work_cycles
+
+        config = profile_benchmark("apache", SCALED_SINGLE_CONFIG,
+                                   40_000, headroom=1.5)
+        shaped = SimSystem([trace], config=SCALED_SINGLE_CONFIG,
+                           limiters=[MittsShaper(config)])
+        shaped_work = shaped.run(40_000).cores[0].work_cycles
+        assert shaped_work >= 0.7 * free_work
+
+    def test_lower_coverage_cheaper(self):
+        from repro.core.pricing import config_price_core_equivalents
+        full = profile_benchmark("mcf", SCALED_SINGLE_CONFIG, 30_000,
+                                 coverage=1.0)
+        half = profile_benchmark("mcf", SCALED_SINGLE_CONFIG, 30_000,
+                                 coverage=0.4)
+        assert half.total_credits <= full.total_credits
+
+    def test_profiled_config_is_valid(self):
+        config = profile_benchmark("libquantum", SCALED_SINGLE_CONFIG,
+                                   20_000)
+        assert isinstance(config, BinConfig)
+        assert config.total_credits >= 1

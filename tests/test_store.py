@@ -1,0 +1,84 @@
+"""Tests for experiment-result persistence and diffing."""
+
+import pytest
+
+from repro.experiments.common import Result
+from repro.experiments.store import (diff_summaries, load_metadata,
+                                     load_result, save_all, save_result)
+
+
+def sample_result(**summary):
+    return Result(experiment="fig99", title="Sample",
+                  headers=["a", "b"], rows=[["x", 1.0]],
+                  notes=["n"], summary=summary or {"metric": 1.0})
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        result = sample_result(metric=2.5)
+        path = save_result(result, tmp_path / "fig99.json",
+                           metadata={"seed": 1, "scale": "smoke"})
+        loaded = load_result(path)
+        assert loaded.experiment == "fig99"
+        assert loaded.summary == {"metric": 2.5}
+        assert loaded.rows == [["x", 1.0]]
+        assert load_metadata(path) == {"seed": 1, "scale": "smoke"}
+
+    def test_directories_created(self, tmp_path):
+        path = save_result(sample_result(),
+                           tmp_path / "deep" / "nested" / "r.json")
+        assert path.exists()
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "result": {}}')
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_save_all(self, tmp_path):
+        results = [Result(experiment=f"e{i}", title="t", headers=["h"],
+                          rows=[], summary={"v": float(i)})
+                   for i in range(3)]
+        paths = save_all(results, tmp_path / "run1")
+        assert len(paths) == 3
+        assert (tmp_path / "run1" / "e1.json").exists()
+
+    def test_loaded_result_renders(self, tmp_path):
+        path = save_result(sample_result(), tmp_path / "r.json")
+        text = load_result(path).render()
+        assert "Sample" in text
+
+
+class TestDiff:
+    def test_no_change_within_tolerance(self):
+        a = sample_result(metric=1.00)
+        b = sample_result(metric=1.01)
+        records = diff_summaries(a, b, tolerance=0.02)
+        assert not records[0]["significant"]
+
+    def test_significant_change_flagged(self):
+        a = sample_result(metric=1.0)
+        b = sample_result(metric=1.5)
+        records = diff_summaries(a, b, tolerance=0.02)
+        assert records[0]["significant"]
+        assert records[0]["relative_change"] == pytest.approx(0.5)
+
+    def test_added_and_removed_metrics(self):
+        a = sample_result(old_metric=1.0)
+        b = sample_result(new_metric=2.0)
+        records = diff_summaries(a, b)
+        by_name = {r["metric"]: r for r in records}
+        assert by_name["old_metric"]["after"] is None
+        assert by_name["new_metric"]["before"] is None
+        assert all(r["significant"] for r in records)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_summaries(sample_result(), sample_result(),
+                           tolerance=-0.1)
+
+    def test_zero_baseline_handled(self):
+        a = sample_result(metric=0.0)
+        b = sample_result(metric=1.0)
+        records = diff_summaries(a, b)
+        assert records[0]["significant"]

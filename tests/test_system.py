@@ -1,0 +1,166 @@
+"""Integration tests for the full simulated system."""
+
+import pytest
+
+from repro.core.bins import BinConfig
+from repro.core.limiter import NoLimiter, StaticLimiter
+from repro.core.shaper import MittsShaper
+from repro.sim.system import (SCALED_MULTI_CONFIG, SCALED_SINGLE_CONFIG,
+                              SimSystem, SystemConfig, single_config)
+from repro.workloads.benchmarks import trace_for
+from repro.workloads.trace import uniform_trace
+
+
+class TestBasicRuns:
+    def test_single_core_progresses(self):
+        system = SimSystem([trace_for("gcc")],
+                           config=SCALED_SINGLE_CONFIG)
+        stats = system.run(20_000)
+        assert stats.cores[0].work_cycles > 0
+        assert stats.cycles == 20_000
+
+    def test_multi_core_all_progress(self):
+        traces = [trace_for(name, seed=i)
+                  for i, name in enumerate(["gcc", "mcf"], start=1)]
+        system = SimSystem(traces, config=SCALED_MULTI_CONFIG)
+        stats = system.run(20_000)
+        assert all(core.work_cycles > 0 for core in stats.cores)
+
+    def test_run_is_resumable(self):
+        system = SimSystem([trace_for("gcc")],
+                           config=SCALED_SINGLE_CONFIG)
+        first = system.run(10_000).cores[0].work_cycles
+        second = system.run(10_000).cores[0].work_cycles
+        assert second > first
+
+    def test_deterministic_across_instances(self):
+        def run_once():
+            system = SimSystem([trace_for("mcf"), trace_for("gcc", seed=2)],
+                               config=SCALED_MULTI_CONFIG)
+            stats = system.run(15_000)
+            return [core.work_cycles for core in stats.cores]
+
+        assert run_once() == run_once()
+
+    def test_no_traces_rejected(self):
+        with pytest.raises(ValueError):
+            SimSystem([])
+
+    def test_limiter_count_must_match(self):
+        with pytest.raises(ValueError):
+            SimSystem([trace_for("gcc")], limiters=[NoLimiter(),
+                                                    NoLimiter()])
+
+
+class TestShaping:
+    def test_static_limiter_reduces_work(self):
+        trace = trace_for("mcf")
+        free = SimSystem([trace], config=SCALED_SINGLE_CONFIG)
+        free_work = free.run(30_000).cores[0].work_cycles
+        tight = SimSystem([trace], config=SCALED_SINGLE_CONFIG,
+                          limiters=[StaticLimiter(200)])
+        tight_work = tight.run(30_000).cores[0].work_cycles
+        assert tight_work < free_work
+
+    def test_mitts_shaper_bounds_release_rate(self):
+        config = BinConfig.single_bin(9, 4)  # ~1 per 95 cycles
+        shaper = MittsShaper(config)
+        system = SimSystem([trace_for("mcf")],
+                           config=SCALED_SINGLE_CONFIG,
+                           limiters=[shaper])
+        system.run(30_000)
+        assert shaper.released <= 30_000 / 90 + 8
+
+    def test_unlimited_config_close_to_unshaped(self):
+        trace = trace_for("gcc")
+        free = SimSystem([trace], config=SCALED_SINGLE_CONFIG)
+        free_work = free.run(30_000).cores[0].work_cycles
+        shaped = SimSystem([trace], config=SCALED_SINGLE_CONFIG,
+                           limiters=[MittsShaper(BinConfig.unlimited())])
+        shaped_work = shaped.run(30_000).cores[0].work_cycles
+        assert shaped_work >= 0.9 * free_work
+
+    def test_set_limiter_swaps_policy(self):
+        system = SimSystem([trace_for("mcf")],
+                           config=SCALED_SINGLE_CONFIG)
+        system.run(5_000)
+        work_before = system.stats.cores[0].work_cycles
+        system.set_limiter(0, StaticLimiter(500))
+        system.run(20_000)
+        gained = system.stats.cores[0].work_cycles - work_before
+        # Heavy throttling: little extra work accumulated.
+        assert gained < work_before * 4
+
+    def test_refunds_happen_with_llc_hits(self):
+        shaper = MittsShaper(BinConfig.from_credits([16] * 10))
+        system = SimSystem([trace_for("hmmer")],
+                           config=SCALED_MULTI_CONFIG,
+                           limiters=[shaper])
+        system.run(30_000)
+        assert shaper.refunds > 0
+
+
+class TestInterference:
+    def test_co_runner_slows_victim(self):
+        victim = trace_for("astar")
+        alone = SimSystem([victim], config=SCALED_MULTI_CONFIG)
+        alone_work = alone.run(30_000).cores[0].work_cycles
+        shared = SimSystem([victim, trace_for("libquantum", seed=2),
+                            trace_for("mcf", seed=3)],
+                           config=SCALED_MULTI_CONFIG)
+        shared_work = shared.run(30_000).cores[0].work_cycles
+        assert shared_work < alone_work
+
+    def test_throttling_hogs_helps_victim(self):
+        victim = trace_for("astar")
+        hogs = [trace_for("libquantum", seed=2), trace_for("mcf", seed=3)]
+        unshaped = SimSystem([victim] + hogs, config=SCALED_MULTI_CONFIG)
+        base = unshaped.run(40_000).cores[0].work_cycles
+        cap = BinConfig.from_credits([1, 0, 0, 0, 0, 0, 0, 0, 0, 6])
+        shaped = SimSystem([victim] + hogs, config=SCALED_MULTI_CONFIG,
+                           limiters=[NoLimiter(), MittsShaper(cap),
+                                     MittsShaper(cap)])
+        protected = shaped.run(40_000).cores[0].work_cycles
+        assert protected > base
+
+
+class TestPlumbing:
+    def test_every_fires_periodically(self):
+        system = SimSystem([uniform_trace(100, 20)],
+                           config=SCALED_SINGLE_CONFIG)
+        ticks = []
+        system.every(1_000, lambda: ticks.append(system.engine.now))
+        system.run(10_500)
+        assert ticks == [1_000 * i for i in range(1, 11)]
+
+    def test_every_rejects_bad_period(self):
+        system = SimSystem([uniform_trace(10, 10)])
+        with pytest.raises(ValueError):
+            system.every(0, lambda: None)
+
+    def test_work_rates(self):
+        system = SimSystem([trace_for("gcc")],
+                           config=SCALED_SINGLE_CONFIG)
+        system.run(10_000)
+        rates = system.work_rates()
+        assert 0.0 < rates[0] <= 1.0
+
+    def test_mem_interarrival_histogram_populated(self):
+        system = SimSystem([trace_for("mcf")],
+                           config=SCALED_SINGLE_CONFIG)
+        stats = system.run(20_000)
+        assert sum(stats.cores[0].mem_interarrival.values()) > 10
+
+    def test_mlp_override(self):
+        fast = SimSystem([trace_for("mcf")], config=SCALED_SINGLE_CONFIG,
+                         mlps=[16])
+        slow = SimSystem([trace_for("mcf")], config=SCALED_SINGLE_CONFIG,
+                         mlps=[1])
+        assert fast.run(20_000).cores[0].work_cycles \
+            > slow.run(20_000).cores[0].work_cycles
+
+    def test_single_config_helper(self):
+        config = single_config(llc_size=128 * 1024, l1_size=16 * 1024)
+        assert config.llc_size == 128 * 1024
+        assert config.l1_size == 16 * 1024
+        assert isinstance(config, SystemConfig)

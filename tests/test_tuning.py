@@ -1,0 +1,166 @@
+"""Unit tests for the GA machinery: genome ops, offline GA, baselines."""
+
+import random
+
+import pytest
+
+from repro.core.bins import BinConfig, BinSpec
+from repro.tuning.ga import GaParams, GeneticAlgorithm
+from repro.tuning.genome import (crossover, mutate, random_config,
+                                 random_genome, seed_genomes)
+from repro.tuning.hillclimb import HillClimber, RandomSearch
+
+
+SPEC = BinSpec()
+
+
+def synthetic_fitness(target):
+    """Fitness peaked when each core's credits match ``target``."""
+
+    def fitness(genome):
+        error = 0
+        for config in genome:
+            error += sum(abs(c - t)
+                         for c, t in zip(config.credits, target))
+        return -float(error)
+
+    return fitness
+
+
+class TestGenomeOps:
+    def test_random_config_valid(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            config = random_config(SPEC, rng)
+            assert config.total_credits >= 1
+            assert all(0 <= c <= SPEC.max_credits for c in config.credits)
+
+    def test_random_genome_size(self):
+        rng = random.Random(0)
+        genome = random_genome(SPEC, 4, rng)
+        assert len(genome) == 4
+
+    def test_crossover_mixes_parents(self):
+        rng = random.Random(1)
+        a = [BinConfig.from_credits([0] * 10)]
+        b = [BinConfig.from_credits([9] * 10)]
+        child = crossover(a, b, rng)[0]
+        assert set(child.credits) <= {0, 9}
+        assert 0 in child.credits and 9 in child.credits
+
+    def test_crossover_length_mismatch(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            crossover([BinConfig.unlimited()],
+                      [BinConfig.unlimited()] * 2, rng)
+
+    def test_mutate_stays_valid(self):
+        rng = random.Random(2)
+        genome = [BinConfig.from_credits([5] * 10)]
+        for _ in range(30):
+            genome = mutate(genome, rng, rate=0.5)
+            assert genome[0].total_credits >= 1
+
+    def test_mutate_zero_rate_identity(self):
+        rng = random.Random(3)
+        genome = [BinConfig.from_credits([5] * 10)]
+        assert mutate(genome, rng, rate=0.0)[0].credits \
+            == genome[0].credits
+
+    def test_mutation_rate_validated(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            mutate([BinConfig.unlimited()], rng, rate=1.5)
+
+    def test_seed_genomes_shapes(self):
+        seeds = seed_genomes(SPEC, 3)
+        assert all(len(genome) == 3 for genome in seeds)
+        # The generous seed concentrates on bin 0.
+        assert seeds[0][0].credits[0] > 0
+
+
+class TestGaParams:
+    @pytest.mark.parametrize("kwargs", [
+        dict(generations=0),
+        dict(population=1),
+        dict(elite=12, population=12),
+        dict(tournament=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GaParams(**kwargs)
+
+
+class TestGeneticAlgorithm:
+    def test_improves_on_synthetic_objective(self):
+        target = (8, 4, 2, 1, 0, 0, 0, 0, 0, 0)
+        ga = GeneticAlgorithm(synthetic_fitness(target), SPEC, 1,
+                              GaParams(generations=12, population=16,
+                                       seed=5))
+        result = ga.run()
+        assert result.history[-1] >= result.history[0]
+        assert result.best_fitness > -40
+
+    def test_reproducible_with_same_seed(self):
+        target = (4, 4, 0, 0, 0, 0, 0, 0, 0, 0)
+
+        def run():
+            ga = GeneticAlgorithm(synthetic_fitness(target), SPEC, 1,
+                                  GaParams(generations=4, population=6,
+                                           seed=9))
+            return ga.run().best_fitness
+
+        assert run() == run()
+
+    def test_seed_genome_in_initial_population(self):
+        target = (7, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        perfect = [BinConfig.from_credits(list(target))]
+        ga = GeneticAlgorithm(synthetic_fitness(target), SPEC, 1,
+                              GaParams(generations=1, population=4,
+                                       seed=1),
+                              seed_genomes=[perfect])
+        result = ga.run()
+        assert result.best_fitness == 0.0
+
+    def test_repair_applied_to_every_genome(self):
+        def repair(config):
+            return BinConfig.single_bin(0, 3, config.spec)
+
+        seen = []
+
+        def fitness(genome):
+            seen.append(genome[0].credits)
+            return 0.0
+
+        ga = GeneticAlgorithm(fitness, SPEC, 1,
+                              GaParams(generations=2, population=4,
+                                       seed=2),
+                              repair=repair)
+        ga.run()
+        assert all(credits == (3,) + (0,) * 9 for credits in seen)
+
+    def test_evaluation_count(self):
+        ga = GeneticAlgorithm(lambda g: 0.0, SPEC, 2,
+                              GaParams(generations=3, population=5,
+                                       seed=1))
+        assert ga.run().evaluations == 15
+
+
+class TestBaselineOptimizers:
+    def test_hill_climber_reaches_local_optimum(self):
+        target = (6, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        hill = HillClimber(synthetic_fitness(target), SPEC, 1,
+                           budget=400, seed=4)
+        result = hill.run()
+        assert result.best_fitness >= result.history[0]
+
+    def test_random_search_budget_respected(self):
+        rand = RandomSearch(lambda g: 0.0, SPEC, 1, budget=17, seed=4)
+        assert rand.run().evaluations == 17
+
+    def test_random_search_history_monotone(self):
+        target = (3, 3, 3, 0, 0, 0, 0, 0, 0, 0)
+        rand = RandomSearch(synthetic_fitness(target), SPEC, 1,
+                            budget=30, seed=4)
+        history = rand.run().history
+        assert history == sorted(history)

@@ -1,0 +1,101 @@
+"""Tests for per-VM shaping and register-state swapping."""
+
+import pytest
+
+from repro.cloud.vm import (MittsRegisterState, VirtualMachine,
+                            build_vm_system, vm_core_ranges, vm_work)
+from repro.core.bins import BinConfig
+from repro.core.shaper import MittsShaper
+from repro.sim.system import SCALED_MULTI_CONFIG
+from repro.workloads.benchmarks import profile
+from repro.workloads.generator import thread_traces
+
+
+def make_vm(name="tenant", benchmark="x264", vcpus=2, credits=None):
+    config = credits or BinConfig.from_credits([8, 4, 2, 2, 1, 1, 1, 1,
+                                                1, 4])
+    traces = thread_traces(profile(benchmark), vcpus, seed=3)
+    return VirtualMachine(name=name, traces=traces, config=config)
+
+
+class TestVirtualMachine:
+    def test_vcpus(self):
+        assert make_vm(vcpus=3).vcpus == 3
+
+    def test_empty_vm_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(name="empty", traces=[],
+                           config=BinConfig.unlimited())
+
+    def test_shaper_auto_created(self):
+        vm = make_vm()
+        assert isinstance(vm.shaper, MittsShaper)
+        assert vm.shaper.config.credits == vm.config.credits
+
+
+class TestSystemAssembly:
+    def test_vcpus_share_the_vm_shaper(self):
+        vm_a = make_vm("a", "x264", vcpus=2)
+        vm_b = make_vm("b", "ferret", vcpus=2)
+        system = build_vm_system([vm_a, vm_b], SCALED_MULTI_CONFIG)
+        assert system.limiter(0) is system.limiter(1) is vm_a.shaper
+        assert system.limiter(2) is system.limiter(3) is vm_b.shaper
+
+    def test_core_ranges(self):
+        vm_a = make_vm("a", vcpus=3)
+        vm_b = make_vm("b", vcpus=1)
+        ranges = vm_core_ranges([vm_a, vm_b])
+        assert ranges["a"] == range(0, 3)
+        assert ranges["b"] == range(3, 4)
+
+    def test_run_and_per_vm_accounting(self):
+        vm_a = make_vm("a", "x264", vcpus=2)
+        vm_b = make_vm("b", "ferret", vcpus=2)
+        system = build_vm_system([vm_a, vm_b], SCALED_MULTI_CONFIG)
+        stats = system.run(30_000)
+        work = vm_work([vm_a, vm_b], stats)
+        assert set(work) == {"a", "b"}
+        assert all(value > 0 for value in work.values())
+
+    def test_vm_provisioning_binds(self):
+        """Shrinking a VM's purchased distribution must cost it work."""
+        tight = BinConfig.from_credits([1, 0, 0, 0, 0, 0, 0, 0, 0, 6])
+
+        def run_with(hog_credits):
+            hog = make_vm("hog", "x264", vcpus=2, credits=hog_credits)
+            other = make_vm("other", "ferret", vcpus=2)
+            system = build_vm_system([hog, other], SCALED_MULTI_CONFIG)
+            return vm_work([hog, other], system.run(30_000))
+
+        generous = run_with(BinConfig.unlimited())
+        throttled = run_with(tight)
+        assert throttled["hog"] < generous["hog"]
+        # The neighbour must not be harmed (small interleaving noise ok).
+        assert throttled["other"] >= 0.97 * generous["other"]
+
+
+class TestRegisterSwap:
+    def test_capture_restore_roundtrip(self):
+        vm = make_vm()
+        vm.shaper.issue(0, req_id=1)
+        saved = vm.swap_out()
+        counts_at_save = list(vm.shaper.state.counts)
+        vm.shaper.issue(7, req_id=2)
+        assert vm.shaper.state.counts != counts_at_save
+        vm.swap_in(saved)
+        assert vm.shaper.state.counts == counts_at_save
+
+    def test_restore_wrong_geometry_rejected(self):
+        vm = make_vm()
+        from repro.core.bins import BinSpec
+        other = MittsShaper(BinConfig.single_bin(0, 1,
+                                                 BinSpec(num_bins=4)))
+        state = MittsRegisterState.capture(other)
+        with pytest.raises(ValueError):
+            state.restore(vm.shaper)
+
+    def test_state_contains_replenish_values(self):
+        vm = make_vm()
+        state = vm.swap_out()
+        assert state.replenish_values == list(vm.config.credits)
+        assert state.next_boundary > 0

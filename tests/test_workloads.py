@@ -1,0 +1,168 @@
+"""Unit tests for the workload substrate."""
+
+import pytest
+
+from repro.workloads.benchmarks import (PARSEC_BENCHMARKS,
+                                        SERVER_BENCHMARKS, SPEC_BENCHMARKS,
+                                        available_benchmarks, profile,
+                                        trace_for)
+from repro.workloads.generator import (BenchmarkProfile, PhaseProfile,
+                                       SyntheticTrace, thread_traces)
+from repro.workloads.mixes import (EIGHT_PROGRAM_WORKLOADS,
+                                   FOUR_PROGRAM_WORKLOADS, workload_names,
+                                   workload_traces)
+from repro.workloads.trace import (ListTrace, TraceEvent, bursty_trace,
+                                   uniform_trace)
+
+
+class TestTraceHelpers:
+    def test_uniform_trace_shape(self):
+        trace = uniform_trace(count=5, gap=7, stride=64)
+        events = list(trace)
+        assert len(events) == 5
+        assert all(e.work == 7 for e in events)
+        addresses = [e.address for e in events]
+        assert addresses == [i * 64 for i in range(5)]
+
+    def test_uniform_trace_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_trace(count=-1, gap=0)
+
+    def test_bursty_trace_two_gap_populations(self):
+        trace = bursty_trace(bursts=3, burst_len=4, burst_gap=2,
+                             idle_gap=100)
+        gaps = {e.work for e in trace}
+        assert gaps == {2, 100}
+
+    def test_list_trace_reiterable(self):
+        trace = ListTrace([TraceEvent(1, 0, False)])
+        assert list(trace) == list(trace)
+
+
+class TestPhaseProfileValidation:
+    def test_defaults_valid(self):
+        PhaseProfile()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(length=0),
+        dict(working_set=32),
+        dict(sequential_fraction=1.5),
+        dict(write_fraction=-0.1),
+        dict(hot_access_fraction=2.0),
+        dict(hot_set_fraction=0.0),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            PhaseProfile(**kwargs)
+
+    def test_benchmark_profile_needs_phases(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="empty", phases=())
+
+
+class TestSyntheticTrace:
+    def test_deterministic_replay(self):
+        trace = trace_for("mcf", seed=7)
+        assert list(trace) == list(trace)
+
+    def test_different_seeds_differ(self):
+        a = list(trace_for("mcf", seed=1))
+        b = list(trace_for("mcf", seed=2))
+        assert a != b
+
+    def test_different_benchmarks_differ(self):
+        a = list(trace_for("mcf", seed=1))
+        b = list(trace_for("gcc", seed=1))
+        assert a != b
+
+    def test_length_matches_profile(self):
+        trace = trace_for("sjeng")
+        assert len(list(trace)) == len(trace) \
+            == profile("sjeng").total_events
+
+    def test_addresses_within_benchmark_region(self):
+        bench = profile("gcc")
+        region = 1 << 26
+        for event in trace_for("gcc"):
+            assert bench.base_address <= event.address \
+                < bench.base_address + region
+
+    def test_benchmarks_have_disjoint_regions(self):
+        bases = {profile(name).base_address
+                 for name in available_benchmarks()}
+        assert len(bases) == len(available_benchmarks())
+
+    def test_write_fraction_roughly_respected(self):
+        events = list(trace_for("bzip"))
+        write_rate = sum(e.is_write for e in events) / len(events)
+        assert 0.15 < write_rate < 0.55
+
+    def test_streaming_benchmark_mostly_sequential(self):
+        events = list(trace_for("libquantum"))
+        seq = sum(1 for a, b in zip(events, events[1:])
+                  if b.address == a.address + 64)
+        assert seq / len(events) > 0.6
+
+    def test_bursty_benchmark_has_heavy_gap_tail(self):
+        events = list(trace_for("bhm_mail"))
+        gaps = sorted(e.work for e in events)
+        p50 = gaps[len(gaps) // 2]
+        p95 = gaps[int(len(gaps) * 0.95)]
+        assert p95 > 10 * max(1, p50)
+
+
+class TestRegistry:
+    def test_all_suites_registered(self):
+        names = set(available_benchmarks())
+        assert set(SPEC_BENCHMARKS) <= names
+        assert set(PARSEC_BENCHMARKS) <= names
+        assert set(SERVER_BENCHMARKS) <= names
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            profile("nonexistent")
+
+    def test_profiles_have_positive_mlp(self):
+        for name in available_benchmarks():
+            assert profile(name).mlp >= 1
+
+
+class TestMixes:
+    def test_table_iii_sizes(self):
+        for workload_id in FOUR_PROGRAM_WORKLOADS:
+            assert len(workload_names(workload_id)) == 4
+        for workload_id in EIGHT_PROGRAM_WORKLOADS:
+            assert len(workload_names(workload_id)) == 8
+
+    def test_workload_1_composition(self):
+        assert set(workload_names(1)) == {"gcc", "libquantum", "bzip",
+                                          "mcf"}
+
+    def test_workload_traces_match_names(self):
+        traces = workload_traces(2)
+        names = workload_names(2)
+        assert [t.profile.name for t in traces] == names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload_names(99)
+
+
+class TestThreadTraces:
+    def test_thread_count(self):
+        traces = thread_traces(profile("x264"), 4)
+        assert len(traces) == 4
+
+    def test_threads_share_address_region(self):
+        traces = thread_traces(profile("ferret"), 2)
+        bases = {t.profile.base_address for t in traces}
+        assert len(bases) == 1
+
+    def test_threads_phase_staggered(self):
+        traces = thread_traces(profile("ferret"), 3)
+        first_phases = [t.profile.phases[0] for t in traces]
+        assert len(set(first_phases)) > 1
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            thread_traces(profile("x264"), 0)
