@@ -1,0 +1,31 @@
+# Developer/CI entry points. `make lint test` is the same gate CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: all lint test test-contracts baseline rules bench
+
+all: lint test
+
+## simlint over the library; exits nonzero on any non-baselined finding
+lint:
+	$(PYTHON) -m repro.analysis src --format json
+
+## tier-1 test suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## tier-1 suite with runtime invariant contracts active
+test-contracts:
+	REPRO_CONTRACTS=1 $(PYTHON) -m pytest -x -q
+
+## regenerate simlint-baseline.json (policy: keep it empty — fix findings)
+baseline:
+	$(PYTHON) -m repro.analysis src --write-baseline
+
+## print the simlint rule table
+rules:
+	$(PYTHON) -m repro.analysis --list-rules
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

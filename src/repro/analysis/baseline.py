@@ -1,0 +1,80 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a committed JSON file holding the fingerprints of known
+findings.  ``python -m repro.analysis src --baseline simlint-baseline.json``
+subtracts them, so a rule can be introduced (or tightened) without forcing
+an immediate fix of every historical hit -- while any *new* violation still
+fails the build.  This repo ships an empty baseline on purpose: all real
+findings were fixed rather than grandfathered.
+
+Fingerprints key on (path, rule, hash of the stripped source line), not on
+line numbers, so unrelated edits to a file do not un-baseline its entries.
+Duplicate identical lines are handled as a multiset.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.fingerprints = Counter(fingerprints)
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "fingerprints" not in payload:
+            raise ValueError(
+                f"{path} is not a simlint baseline (missing 'fingerprints')")
+        version = payload.get("version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ValueError(f"{path} has unsupported baseline version "
+                             f"{version!r}")
+        return cls(payload["fingerprints"])
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.fingerprint() for finding in findings)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "fingerprints": sorted(self.fingerprints.elements()),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # filtering
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (new, grandfathered)."""
+        remaining = Counter(self.fingerprints)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.fingerprints.values())

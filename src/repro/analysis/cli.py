@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (or every finding baselined), 1 = new findings,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import Finding
+from .linter import Linter
+from .registry import all_rules
+
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism lint for the MITTS simulator")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--select", metavar="SIM001,SIM004",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[str]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if os.path.exists(DEFAULT_BASELINE):
+        return DEFAULT_BASELINE
+    return None
+
+
+def _print_rules(stream) -> None:
+    stream.write(f"{'id':<8}{'severity':<10}title\n")
+    for rule in all_rules():
+        stream.write(f"{rule.id:<8}{rule.severity.value:<10}{rule.title}\n")
+        stream.write(f"{'':<18}fix: {rule.fix_hint}\n")
+
+
+def _emit_text(new: Sequence[Finding], old: Sequence[Finding],
+               stream) -> None:
+    for finding in new:
+        stream.write(finding.render_text() + "\n")
+    if old:
+        stream.write(f"({len(old)} baselined finding(s) suppressed)\n")
+    if new:
+        errors = sum(1 for f in new if f.severity.value == "error")
+        warnings = len(new) - errors
+        stream.write(f"simlint: {len(new)} new finding(s) "
+                     f"({errors} error, {warnings} warning)\n")
+    else:
+        stream.write("simlint: clean\n")
+
+
+def _emit_json(new: Sequence[Finding], old: Sequence[Finding],
+               stream) -> None:
+    payload = {
+        "version": 1,
+        "new": [finding.to_dict() for finding in new],
+        "baselined": len(old),
+        "counts": {
+            "error": sum(1 for f in new if f.severity.value == "error"),
+            "warning": sum(1 for f in new if f.severity.value == "warning"),
+        },
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdout=None, stderr=None) -> int:
+    stdout = stdout or sys.stdout
+    stderr = stderr or sys.stderr
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(stdout)
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",")
+                  if part.strip()]
+    try:
+        linter = Linter(select=select)
+    except ValueError as exc:
+        stderr.write(f"simlint: {exc}\n")
+        return 2
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        stderr.write(f"simlint: no such path: {', '.join(missing)}\n")
+        return 2
+
+    findings: List[Finding] = linter.lint_paths(args.paths)
+
+    baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(findings).save(target)
+        stdout.write(f"simlint: wrote {len(findings)} finding(s) to "
+                     f"{target}\n")
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and os.path.exists(baseline_path):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            stderr.write(f"simlint: bad baseline: {exc}\n")
+            return 2
+    new, old = baseline.split(findings)
+
+    if args.format == "json":
+        _emit_json(new, old, stdout)
+    else:
+        _emit_text(new, old, stdout)
+    return 1 if new else 0

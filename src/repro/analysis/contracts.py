@@ -1,0 +1,129 @@
+"""Runtime invariant contracts for the simulator's hot seams.
+
+Static analysis (simlint) catches contract violations it can see in the
+source; this module catches the ones that only appear at runtime -- a
+refactored event queue that loses FIFO order, a scheduler bug that drives
+a shaper bin negative, a float sneaking into cycle arithmetic through a
+config value.  Checks are **off by default** and cost one attribute/global
+read per guarded call when disabled, so production runs pay essentially
+nothing.
+
+Enable them:
+
+* process-wide via the environment: ``REPRO_CONTRACTS=1 pytest``
+* programmatically: ``contracts.set_enabled(True)`` / ``set_enabled(False)``
+* scoped (tests): ``with contracts.enabled_scope(): ...``
+
+Components that want zero per-event overhead when disabled (the engine's
+event loop) capture :func:`is_enabled` once at construction; everything
+else consults the global through :func:`check` / :func:`invariant` on each
+call.  Contracts are *observers only*: they never mutate simulator state,
+so enabling them cannot change simulation results (pinned by
+``tests/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the simulator was broken.
+
+    Subclasses :class:`AssertionError` so harnesses that already treat
+    assertion failures as fatal do the right thing, while still being
+    catchable specifically.
+    """
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_CONTRACTS", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+_enabled: bool = _env_enabled()
+
+
+def is_enabled() -> bool:
+    """Are runtime contracts currently active?"""
+    return _enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Turn contracts on/off globally; returns the previous setting.
+
+    Components that captured the flag at construction (the
+    :class:`~repro.sim.engine.Engine`) keep their captured value; create
+    them after toggling, or use :func:`enabled_scope` around the whole
+    simulation setup.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Context manager enabling (or disabling) contracts within a block."""
+    previous = set_enabled(on)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def check(condition: bool, message: str, *args: object) -> None:
+    """Raise :class:`ContractViolation` unless ``condition`` holds.
+
+    The condition is evaluated by the *caller*, so hot paths should guard
+    the whole block with ``if contracts.is_enabled():`` to avoid computing
+    it when contracts are off.
+    """
+    if _enabled and not condition:
+        raise ContractViolation(message % args if args else message)
+
+
+def invariant(*predicates: Callable[[object], bool],
+              when: str = "post") -> Callable:
+    """Method decorator asserting object invariants around a call.
+
+    Each predicate takes the instance and returns True when the invariant
+    holds; its docstring (or name) becomes the failure message.  ``when``
+    is ``"post"`` (default), ``"pre"``, or ``"both"``.  When contracts are
+    disabled the wrapper is a single global read plus the original call.
+    """
+    if when not in ("pre", "post", "both"):
+        raise ValueError(f"when must be pre/post/both, not {when!r}")
+    check_pre = when in ("pre", "both")
+    check_post = when in ("post", "both")
+
+    def describe(predicate: Callable[[object], bool]) -> str:
+        doc = (predicate.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else predicate.__name__
+
+    def decorator(method: Callable) -> Callable:
+        @functools.wraps(method)
+        def wrapper(self, *args: object, **kwargs: object):
+            if not _enabled:
+                return method(self, *args, **kwargs)
+            if check_pre:
+                for predicate in predicates:
+                    if not predicate(self):
+                        raise ContractViolation(
+                            f"{type(self).__name__}.{method.__name__} "
+                            f"precondition violated: {describe(predicate)}")
+            result = method(self, *args, **kwargs)
+            if check_post:
+                for predicate in predicates:
+                    if not predicate(self):
+                        raise ContractViolation(
+                            f"{type(self).__name__}.{method.__name__} "
+                            f"postcondition violated: {describe(predicate)}")
+            return result
+        return wrapper
+
+    return decorator

@@ -1,0 +1,70 @@
+"""Finding and severity types shared by the linter, rules and CLI."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+class Severity(str, Enum):
+    """How bad a finding is.  ``ERROR`` breaks the determinism contract;
+    ``WARNING`` is a hygiene hazard that tends to become an error later."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+    snippet: str = ""
+    #: last physical line of the flagged statement (0 = same as ``line``);
+    #: lets a trailing ``# simlint: disable`` pragma cover multi-line calls
+    end_line: int = 0
+
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching.
+
+        Deliberately excludes the line *number* (editing an unrelated part
+        of the file must not un-baseline a grandfathered finding) and keys
+        on the stripped source line instead.
+        """
+        digest = hashlib.sha1(self.snippet.strip().encode("utf-8",
+                                                          "replace"))
+        return f"{self.path}::{self.rule}::{digest.hexdigest()[:12]}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render_text(self) -> str:
+        text = (f"{self.location()}: {self.rule} {self.severity.value}: "
+                f"{self.message}")
+        if self.fix_hint:
+            text += f" [hint: {self.fix_hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }

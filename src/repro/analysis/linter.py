@@ -1,0 +1,160 @@
+"""simlint driver: file discovery, parsing, suppression, rule dispatch.
+
+The linter is a plain AST walk -- no imports of the linted code are ever
+executed, so it is safe to run over broken or half-written modules, and it
+needs nothing outside the standard library.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding, Severity
+from .registry import Rule, all_rules
+
+#: inline suppression pragma: ``# simlint: disable`` silences every rule on
+#: the line, ``# simlint: disable=SIM001,SIM004`` only the listed ones.
+_PRAGMA = re.compile(r"#\s*simlint:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "venv",
+              "node_modules", ".eggs", "build", "dist"}
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every applicable rule."""
+
+    path: str          # path as reported in findings (relative, posix)
+    tree: ast.AST
+    lines: List[str]   # physical source lines, 1-based via line(n)
+
+    def __post_init__(self) -> None:
+        self.parts: Tuple[str, ...] = tuple(
+            part for part in self.path.replace("\\", "/").split("/") if part)
+        self.name: str = self.parts[-1] if self.parts else self.path
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: Rule, node: ast.AST, message: str,
+                fix_hint: Optional[str] = None) -> Finding:
+        """Build a Finding anchored at ``node`` for ``rule``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.path,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            fix_hint=rule.fix_hint if fix_hint is None else fix_hint,
+            snippet=self.line(lineno).strip(),
+            end_line=getattr(node, "end_lineno", 0) or 0,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True if a ``# simlint: disable`` pragma covers ``finding``.
+
+        The pragma is honoured on the finding's first physical line and on
+        the statement's last line (for multi-line calls whose trailing
+        comment carries the pragma).
+        """
+        for lineno in {finding.line, finding.end_line or finding.line}:
+            match = _PRAGMA.search(self.line(lineno))
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                return True
+            wanted = {part.strip() for part in ids.split(",") if part.strip()}
+            if finding.rule in wanted:
+                return True
+        return False
+
+
+class Linter:
+    """Runs a rule set over files or directories and collects findings."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 select: Optional[Iterable[str]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None \
+            else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.id for rule in self.rules}
+            if unknown:
+                raise ValueError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))}")
+            self.rules = [rule for rule in self.rules if rule.id in wanted]
+
+    # ------------------------------------------------------------------
+    # discovery
+
+    @staticmethod
+    def discover(paths: Sequence[str]) -> List[str]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        files: List[str] = []
+        for path in paths:
+            if os.path.isfile(path):
+                files.append(path)
+                continue
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in _SKIP_DIRS
+                                     and not d.startswith("."))
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        return sorted(set(files))
+
+    # ------------------------------------------------------------------
+    # linting
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Lint one in-memory source string (the unit-test entry point)."""
+        display = path.replace(os.sep, "/")
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding(
+                rule="SIM000", severity=Severity.ERROR, path=display,
+                line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint="fix the syntax error before linting",
+                snippet=(exc.text or "").strip(),
+            )]
+        module = Module(path=display, tree=tree,
+                        lines=source.splitlines())
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if not module.suppressed(finding):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def lint_file(self, path: str) -> List[Finding]:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            source = handle.read()
+        return self.lint_source(source, path=path)
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in self.discover(paths):
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Convenience wrapper: lint ``paths`` with the full built-in rule set."""
+    return Linter(select=select).lint_paths(paths)

@@ -1,0 +1,85 @@
+"""Pluggable rule registry for simlint.
+
+Rules are classes decorated with :func:`rule`; the decorator validates the
+rule's metadata and adds it to the global registry the linter iterates.
+Keeping registration declarative means a future PR can ship extra rules
+(or a project-local plugin module) without touching the linter core.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Type
+
+_RULE_ID = re.compile(r"^SIM\d{3}$")
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set the class attributes below and implement
+    :meth:`check`, which yields :class:`~repro.analysis.findings.Finding`
+    objects for one parsed module.  ``scope_parts`` / ``exempt_parts``
+    restrict a rule by path component: a rule with ``scope_parts`` only
+    runs on files whose path contains one of those directory names, and a
+    rule with ``exempt_parts`` skips files whose path contains one.
+    """
+
+    id: str = ""
+    severity = None  # type: ignore[assignment]
+    title: str = ""
+    fix_hint: str = ""
+    #: only lint files whose path contains one of these directory names
+    #: (empty = everywhere)
+    scope_parts: frozenset = frozenset()
+    #: skip files whose path contains one of these directory names
+    exempt_parts: frozenset = frozenset()
+    #: skip files with one of these basenames
+    exempt_files: frozenset = frozenset()
+
+    def applies_to(self, module) -> bool:
+        parts = set(module.parts)
+        if module.name in self.exempt_files:
+            return False
+        if self.exempt_parts & parts:
+            return False
+        if self.scope_parts and not (self.scope_parts & parts):
+            return False
+        return True
+
+    def check(self, module) -> Iterable:
+        raise NotImplementedError
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass."""
+    if not issubclass(cls, Rule):
+        raise TypeError(f"{cls!r} must subclass Rule")
+    if not _RULE_ID.match(cls.id or ""):
+        raise ValueError(f"rule {cls.__name__} needs an id like 'SIM001', "
+                         f"got {cls.id!r}")
+    if cls.severity is None or not cls.title:
+        raise ValueError(f"rule {cls.id} needs severity and title")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    return _REGISTRY[rule_id]()
+
+
+def _ensure_builtin_rules() -> None:
+    # Import for the registration side effect; deferred to dodge the
+    # rules -> findings -> registry import cycle at package init.
+    from . import rules  # noqa: F401

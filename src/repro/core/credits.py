@@ -10,7 +10,19 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..analysis import contracts
 from .bins import BinConfig
+
+
+def _credits_within_bounds(state: "CreditState") -> bool:
+    """every bin credit count stays within [0, K_i]"""
+    return all(0 <= count <= limit for count, limit
+               in zip(state.counts, state._config.credits))
+
+
+def _one_counter_per_bin(state: "CreditState") -> bool:
+    """one credit counter per configured bin"""
+    return len(state.counts) == state._config.spec.num_bins
 
 
 class CreditState:
@@ -29,6 +41,7 @@ class CreditState:
     def config(self) -> BinConfig:
         return self._config
 
+    @contracts.invariant(_credits_within_bounds, _one_counter_per_bin)
     def reconfigure(self, config: BinConfig, reset: bool = True) -> None:
         """Install a new allocation (OS writing the config registers).
 
@@ -45,6 +58,7 @@ class CreditState:
             self.counts = [min(count, limit)
                            for count, limit in zip(self.counts, config.credits)]
 
+    @contracts.invariant(_credits_within_bounds, _one_counter_per_bin)
     def replenish(self) -> None:
         """Algorithm 1: reset every ``n_i`` to ``K_i``."""
         self.counts = list(self._config.credits)
@@ -70,12 +84,14 @@ class CreditState:
                 return index
         return None
 
+    @contracts.invariant(_credits_within_bounds, _one_counter_per_bin)
     def deduct(self, bin_index: int) -> None:
         """Consume one credit from ``bin_index``."""
         if self.counts[bin_index] <= 0:
             raise ValueError(f"bin {bin_index} has no credits to deduct")
         self.counts[bin_index] -= 1
 
+    @contracts.invariant(_credits_within_bounds, _one_counter_per_bin)
     def refund(self, bin_index: int) -> None:
         """Return one credit (hybrid method 2: the L1 miss was an LLC hit).
 

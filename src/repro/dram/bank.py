@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis import contracts
 from .timing import DramTiming
 
 
@@ -45,6 +46,14 @@ class Bank:
         bus's peak bandwidth.  The caller (the DRAM device) serialises data
         bursts on the shared channel bus.
         """
+        guarded = contracts.is_enabled()
+        if guarded:
+            contracts.check(isinstance(now, int) and isinstance(row, int),
+                            "Bank.access(row=%r, now=%r): cycles and rows "
+                            "are integers", row, now)
+            contracts.check(now >= 0, "Bank.access at negative cycle %r",
+                            now)
+        prev_ready = self.ready_cycle
         start = max(now, self.ready_cycle)
         kind = self.classify(row)
         if kind == "hit":
@@ -68,10 +77,30 @@ class Bank:
         self.open_row = row
         recovery = self.timing.t_wr if is_write else 0
         self.ready_cycle = next_ready + recovery
+        if guarded:
+            # Row-buffer legality: the access leaves ``row`` open, never
+            # finishes before it starts, and bank readiness only advances.
+            contracts.check(self.open_row == row,
+                            "Bank left row %r open after accessing row %r",
+                            self.open_row, row)
+            contracts.check(done >= start >= now,
+                            "Bank access time ran backwards: now=%d "
+                            "start=%d done=%d", now, start, done)
+            contracts.check(self.ready_cycle >= prev_ready,
+                            "Bank ready_cycle regressed from %d to %d",
+                            prev_ready, self.ready_cycle)
+            contracts.check(self.last_activate <= self.ready_cycle,
+                            "Bank last_activate %d beyond ready_cycle %d",
+                            self.last_activate, self.ready_cycle)
         return done
 
     def refresh(self, now: int) -> None:
         """Apply a refresh: closes the row and blocks the bank for tRFC."""
+        prev_ready = self.ready_cycle
         start = max(now, self.ready_cycle)
         self.open_row = None
         self.ready_cycle = start + self.timing.t_rfc
+        if contracts.is_enabled():
+            contracts.check(self.ready_cycle >= prev_ready,
+                            "Bank refresh regressed ready_cycle from %d "
+                            "to %d", prev_ready, self.ready_cycle)

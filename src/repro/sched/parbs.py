@@ -40,7 +40,9 @@ class ParbsScheduler(MemoryScheduler):
             per_core_bank.setdefault(key, []).append(request)
         self._marked = set()
         marked_per_core: Dict[int, int] = {}
-        for (core, _bank), requests in per_core_bank.items():
+        # sorted() pins the marking order to (core, bank) rather than dict
+        # insertion history, keeping batch formation order-explicit (SIM004)
+        for (core, _bank), requests in sorted(per_core_bank.items()):
             requests.sort(key=lambda r: r.mc_arrival_cycle)
             for request in requests[:self.cap]:
                 self._marked.add(request.req_id)

@@ -17,12 +17,21 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from ..analysis import contracts
+
 
 class Engine:
     """A minimal discrete-event scheduler keyed by integer cycle time.
 
     Events scheduled for the same cycle run in FIFO order of scheduling,
     which keeps component interactions deterministic.
+
+    With runtime contracts enabled (``REPRO_CONTRACTS=1``, see
+    :mod:`repro.analysis.contracts`) the engine verifies its two core
+    invariants on every event -- time never runs backwards and same-cycle
+    events pop in FIFO scheduling order -- and rejects non-integer cycle
+    arguments at :meth:`schedule` time.  The flag is captured at
+    construction so the disabled case costs one attribute read per event.
     """
 
     def __init__(self) -> None:
@@ -30,6 +39,7 @@ class Engine:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._stopped = False
+        self._contracts = contracts.is_enabled()
 
     def schedule(self, when: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run at absolute cycle ``when``.
@@ -37,6 +47,14 @@ class Engine:
         Scheduling in the past is clamped to the current cycle; this lets
         components compute "ready" times without worrying about underflow.
         """
+        if self._contracts:
+            contracts.check(
+                isinstance(when, int),
+                "Engine.schedule(when=%r): simulated time is integer CPU "
+                "cycles, got %s", when, type(when).__name__)
+            contracts.check(
+                callable(callback),
+                "Engine.schedule: callback %r is not callable", callback)
         if when < self.now:
             when = self.now
         heapq.heappush(self._queue, (when, next(self._counter), callback))
@@ -64,6 +82,7 @@ class Engine:
         """
         self._stopped = False
         executed = 0
+        last_seq = -1
         while self._queue and not self._stopped:
             when = self._queue[0][0]
             if until is not None and when >= until:
@@ -71,7 +90,17 @@ class Engine:
                 return self.now
             if max_events is not None and executed >= max_events:
                 return self.now
-            when, _, callback = heapq.heappop(self._queue)
+            when, seq, callback = heapq.heappop(self._queue)
+            if self._contracts:
+                contracts.check(
+                    when >= self.now,
+                    "time monotonicity violated: popped event at cycle %d "
+                    "behind current cycle %d", when, self.now)
+                contracts.check(
+                    when > self.now or seq > last_seq,
+                    "heap-FIFO order violated at cycle %d: event seq %d "
+                    "popped after seq %d", when, seq, last_seq)
+            last_seq = seq
             self.now = when
             callback()
             executed += 1

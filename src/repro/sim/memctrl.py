@@ -17,10 +17,21 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
+from ..analysis import contracts
 from ..dram.device import DramDevice
 from .engine import Engine
 from .request import MemoryRequest
 from .stats import SystemStats
+
+
+def _queue_within_depth(mc: "MemoryController") -> bool:
+    """scheduler-visible transaction queue stays within queue_depth"""
+    return len(mc.queue) <= mc.queue_depth
+
+
+def _inflight_within_banks(mc: "MemoryController") -> bool:
+    """in-flight DRAM requests stay within [0, total_banks]"""
+    return 0 <= mc._inflight <= mc._max_inflight
 
 
 class MemoryController:
@@ -42,6 +53,7 @@ class MemoryController:
         self._inflight = 0
         self._max_inflight = dram.timing.total_banks
 
+    @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def enqueue(self, request: MemoryRequest) -> None:
         request.mc_arrival_cycle = self.engine.now
         if len(self.queue) >= self.queue_depth:
@@ -84,6 +96,7 @@ class MemoryController:
             self._inflight += 1
             self.engine.schedule(done, lambda r=request: self._complete(r))
 
+    @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def _complete(self, request: MemoryRequest) -> None:
         self._inflight -= 1
         if self.stats is not None:

@@ -1,0 +1,15 @@
+"""Fixture: SIM007 -- inline ns->cycle conversion outside repro.dram.timing."""
+
+CORE_GHZ = 2.4
+
+
+def activate_cycles(t_rcd_ns):
+    return round(t_rcd_ns * CORE_GHZ)  # VIOLATION: inline ns arithmetic
+
+
+def through_timing_is_fine(timing):
+    return timing.t_rcd
+
+
+def suppressed(latency_ns):
+    return latency_ns * 2  # simlint: disable=SIM007

@@ -1,0 +1,18 @@
+"""Fixture: SIM001 -- unseeded randomness in simulator code."""
+
+import random
+
+
+def jitter():
+    rng = random.Random()  # VIOLATION: no seed expression
+    return rng.randint(0, 10)
+
+
+def seeded_is_fine(seed):
+    rng = random.Random(seed)
+    return rng.randint(0, 10)
+
+
+def suppressed():
+    rng = random.Random()  # simlint: disable=SIM001
+    return rng.random()  # simlint: disable=SIM001

@@ -1,0 +1,16 @@
+"""Fixture: SIM002 -- wall-clock read inside simulator code."""
+
+import time
+
+
+def sample_latency():
+    started = time.perf_counter()  # VIOLATION: wall clock in sim code
+    return started
+
+
+def cycle_time_is_fine(engine):
+    return engine.now
+
+
+def suppressed():
+    return time.time()  # simlint: disable=SIM002

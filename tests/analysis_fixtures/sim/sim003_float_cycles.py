@@ -1,0 +1,13 @@
+"""Fixture: SIM003 -- float value flowing into a cycle argument."""
+
+
+def reschedule(engine, callback, period):
+    engine.schedule(engine.now + period * 1.5, callback)  # VIOLATION
+
+
+def integer_cycles_are_fine(engine, callback, period):
+    engine.schedule(engine.now + (period * 3) // 2, callback)
+
+
+def suppressed(engine, callback, period):
+    engine.schedule_in(period / 2, callback)  # simlint: disable=SIM003

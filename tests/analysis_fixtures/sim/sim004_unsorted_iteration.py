@@ -1,0 +1,19 @@
+"""Fixture: SIM004 -- hash-ordered iteration driving event scheduling."""
+
+
+class Broadcaster:
+    def __init__(self, engine, listeners):
+        self.engine = engine
+        self.listeners = listeners
+
+    def notify_all(self, when):
+        for name, callback in self.listeners.items():  # VIOLATION
+            self.engine.schedule(when, callback)
+
+    def sorted_is_fine(self, when):
+        for name, callback in sorted(self.listeners.items()):
+            self.engine.schedule(when, callback)
+
+    def suppressed(self, when):
+        for callback in self.listeners.values():  # simlint: disable=SIM004
+            self.engine.schedule(when, callback)

@@ -1,0 +1,18 @@
+"""Fixture: SIM005 -- mutable default argument."""
+
+
+def record_events(event, log=[]):  # VIOLATION
+    log.append(event)
+    return log
+
+
+def none_default_is_fine(event, log=None):
+    if log is None:
+        log = []
+    log.append(event)
+    return log
+
+
+def suppressed(event, log={}):  # simlint: disable=SIM005
+    log[event] = True
+    return log

@@ -1,0 +1,16 @@
+"""Fixture: SIM006 -- schedule lambda late-binding a loop variable."""
+
+
+def drain(engine, requests, complete):
+    for request in requests:
+        engine.schedule(request.ready, lambda: complete(request))  # VIOLATION
+
+
+def default_binding_is_fine(engine, requests, complete):
+    for request in requests:
+        engine.schedule(request.ready, lambda r=request: complete(r))
+
+
+def suppressed(engine, requests, complete):
+    for request in requests:
+        engine.schedule_in(1, lambda: complete(request))  # simlint: disable=SIM006

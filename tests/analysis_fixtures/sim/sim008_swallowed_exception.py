@@ -1,0 +1,22 @@
+"""Fixture: SIM008 -- silently swallowed exception."""
+
+
+def unsafe_tick(component):
+    try:
+        component.tick()
+    except Exception:  # VIOLATION: pass-only handler
+        pass
+
+
+def specific_handling_is_fine(component, stats):
+    try:
+        component.tick()
+    except ValueError:
+        stats.tick_errors += 1
+
+
+def suppressed(component):
+    try:
+        component.tick()
+    except Exception:  # simlint: disable=SIM008
+        pass

@@ -1,0 +1,227 @@
+"""Tests for the runtime invariant contracts (repro.analysis.contracts).
+
+Contracts must (a) catch genuine invariant violations when enabled,
+(b) cost nothing semantically when disabled, and (c) never perturb
+simulation results (the latter is pinned in tests/test_determinism.py).
+"""
+
+import heapq
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import ContractViolation, contracts
+from repro.core.bins import BinConfig
+from repro.core.credits import CreditState
+from repro.dram.bank import Bank
+from repro.dram.device import DramDevice
+from repro.dram.timing import DDR3_1333
+from repro.sim.engine import Engine
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import MemoryRequest
+
+
+@pytest.fixture
+def contracts_on():
+    with contracts.enabled_scope():
+        yield
+
+
+class TestToggle:
+    def test_default_follows_environment(self):
+        # Off unless REPRO_CONTRACTS opts in (the suite also runs under
+        # REPRO_CONTRACTS=1, where the default is on).
+        assert contracts.is_enabled() == contracts._env_enabled()
+
+    def test_enabled_scope_restores_previous_state(self):
+        before = contracts.is_enabled()
+        with contracts.enabled_scope():
+            assert contracts.is_enabled()
+            with contracts.enabled_scope(False):
+                assert not contracts.is_enabled()
+            assert contracts.is_enabled()
+        assert contracts.is_enabled() == before
+
+    def test_env_variable_activates(self):
+        import os
+
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        script = ("from repro.analysis import contracts; "
+                  "import sys; sys.exit(0 if contracts.is_enabled() else 1)")
+        for value, expected in [("1", 0), ("0", 1), ("", 1), ("yes", 0)]:
+            env = dict(os.environ, REPRO_CONTRACTS=value, PYTHONPATH=src_dir)
+            result = subprocess.run([sys.executable, "-c", script], env=env)
+            assert result.returncode == expected, (value, expected)
+
+    def test_check_is_noop_when_disabled(self):
+        with contracts.enabled_scope(False):
+            contracts.check(False, "never raised while disabled")
+
+    def test_check_raises_when_enabled(self, contracts_on):
+        with pytest.raises(ContractViolation, match="cycle 7"):
+            contracts.check(False, "bad cycle %d", 7)
+        contracts.check(True, "fine")
+
+    def test_violation_is_an_assertion_error(self):
+        assert issubclass(ContractViolation, AssertionError)
+
+
+class TestInvariantDecorator:
+    class Counter:
+        def __init__(self):
+            self.value = 0
+
+        @contracts.invariant(lambda self: self.value >= 0)
+        def bump(self, delta):
+            self.value += delta
+            return self.value
+
+    def test_passes_through_when_holding(self, contracts_on):
+        counter = self.Counter()
+        assert counter.bump(3) == 3
+
+    def test_raises_on_broken_postcondition(self, contracts_on):
+        counter = self.Counter()
+        with pytest.raises(ContractViolation, match="postcondition"):
+            counter.bump(-1)
+
+    def test_disabled_decorator_does_not_check(self):
+        with contracts.enabled_scope(False):
+            counter = self.Counter()
+            assert counter.bump(-5) == -5
+
+    def test_rejects_bad_when(self):
+        with pytest.raises(ValueError):
+            contracts.invariant(lambda self: True, when="sometimes")
+
+
+class TestEngineContracts:
+    def test_rejects_float_cycle(self, contracts_on):
+        engine = Engine()
+        with pytest.raises(ContractViolation, match="integer CPU cycles"):
+            engine.schedule(1.5, lambda: None)
+
+    def test_rejects_non_callable(self, contracts_on):
+        engine = Engine()
+        with pytest.raises(ContractViolation, match="not callable"):
+            engine.schedule(1, None)
+
+    def test_detects_time_regression(self, contracts_on):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        # Corrupt the queue behind schedule()'s back: an event in the past.
+        heapq.heappush(engine._queue, (5, 999, lambda: None))
+        with pytest.raises(ContractViolation, match="monotonicity"):
+            engine.run()
+
+    def test_detects_fifo_breakage(self, contracts_on):
+        engine = Engine()
+        # Two same-cycle events with the same sequence number can only be
+        # produced by a broken scheduler; the FIFO contract must object.
+        # (Assigned directly: a real heappush would refuse the duplicate.)
+        engine._queue = [(5, 1, lambda: None), (5, 1, lambda: None)]
+        with pytest.raises(ContractViolation, match="FIFO"):
+            engine.run()
+
+    def test_clean_run_is_unaffected(self, contracts_on):
+        engine = Engine()
+        log = []
+        for index in range(4):
+            engine.schedule(3, lambda i=index: log.append(i))
+        engine.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_flag_captured_at_construction(self):
+        # An engine built while contracts are off never checks, even if
+        # they are enabled afterwards: build systems inside the scope.
+        with contracts.enabled_scope(False):
+            engine = Engine()
+        with contracts.enabled_scope():
+            engine.schedule(0.5, lambda: None)  # silently accepted
+            assert Engine()._contracts
+
+
+class TestCreditContracts:
+    def make_state(self):
+        return CreditState(
+            BinConfig.from_credits([4, 2, 1, 0, 0, 0, 0, 0, 0, 0]))
+
+    def test_normal_operations_hold(self, contracts_on):
+        state = self.make_state()
+        state.deduct(0)
+        state.refund(0)
+        state.replenish()
+        assert state.counts == [4, 2, 1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_negative_credit_is_caught(self, contracts_on):
+        state = self.make_state()
+        state.counts[1] = -3  # corrupted by a hypothetical scheduler bug
+        with pytest.raises(ContractViolation, match="postcondition"):
+            state.refund(1)
+
+    def test_counter_count_mismatch_is_caught(self, contracts_on):
+        state = self.make_state()
+        state.counts.append(7)
+        with pytest.raises(ContractViolation, match="postcondition"):
+            state.refund(0)
+
+
+class TestMemoryControllerContracts:
+    class NullScheduler:
+        def select(self, queue, now, controller):
+            return None
+
+        def on_complete(self, request, now):
+            pass
+
+    def make_mc(self, depth=2):
+        engine = Engine()
+        dram = DramDevice(DDR3_1333)
+        return MemoryController(engine, dram, self.NullScheduler(),
+                                complete=lambda request: None,
+                                queue_depth=depth)
+
+    def test_enqueue_respects_bound(self, contracts_on):
+        mc = self.make_mc(depth=2)
+        for req_id in range(5):
+            mc.enqueue(MemoryRequest(core_id=0, address=64 * req_id))
+        assert len(mc.queue) == 2
+        assert len(mc.overflow) == 3
+
+    def test_overfilled_queue_is_caught(self, contracts_on):
+        mc = self.make_mc(depth=2)
+        mc.queue = [MemoryRequest(core_id=0, address=64 * i)
+                    for i in range(5)]
+        with pytest.raises(ContractViolation, match="queue_depth"):
+            mc.enqueue(MemoryRequest(core_id=0, address=0))
+
+
+class TestBankContracts:
+    def test_legal_access_sequence(self, contracts_on):
+        bank = Bank(DDR3_1333)
+        done = bank.access(row=3, now=0)
+        assert bank.open_row == 3
+        later = bank.access(row=3, now=done)
+        assert later > done
+
+    def test_float_cycle_is_caught(self, contracts_on):
+        bank = Bank(DDR3_1333)
+        with pytest.raises(ContractViolation, match="integers"):
+            bank.access(row=1, now=2.5)
+
+    def test_negative_cycle_is_caught(self, contracts_on):
+        bank = Bank(DDR3_1333)
+        with pytest.raises(ContractViolation, match="negative"):
+            bank.access(row=1, now=-4)
+
+    def test_refresh_keeps_ready_cycle_monotonic(self, contracts_on):
+        bank = Bank(DDR3_1333)
+        bank.access(row=1, now=0)
+        before = bank.ready_cycle
+        bank.refresh(now=0)
+        assert bank.open_row is None
+        assert bank.ready_cycle >= before

@@ -46,6 +46,31 @@ def test_ga_search_is_deterministic():
     assert run() == run()
 
 
+def test_contracts_do_not_perturb_simulation():
+    """Runtime contracts are observers only: a 4-core mix simulated with
+    ``REPRO_CONTRACTS=1`` semantics must produce bit-identical statistics
+    to the same mix with contracts off, and be repeatable under them."""
+    from repro.analysis import contracts
+    from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+    from repro.workloads.benchmarks import trace_for
+
+    def digest():
+        system = SimSystem([trace_for("gcc"), trace_for("mcf", seed=2),
+                            trace_for("omnetpp", seed=3),
+                            trace_for("libquantum", seed=4)],
+                           config=SCALED_MULTI_CONFIG)
+        stats = system.run(20_000)
+        return [core.snapshot() for core in stats.cores]
+
+    baseline = digest()
+    with contracts.enabled_scope():
+        assert contracts.is_enabled()
+        first = digest()
+        second = digest()
+    assert first == second, "contracts broke run-to-run determinism"
+    assert first == baseline, "contracts perturbed simulation results"
+
+
 def test_simulation_not_sensitive_to_wallclock():
     """Nothing in the stack may read real time: two systems built at
     different moments replay identically."""

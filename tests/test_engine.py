@@ -48,6 +48,69 @@ class TestScheduling:
         assert seen == [15]
 
 
+class TestDeterminismContract:
+    """Regression pins for the ordering guarantees SIM006 and the runtime
+    contracts (repro.analysis.contracts) rely on: same-cycle events run in
+    FIFO scheduling order, and past scheduling clamps to ``now``."""
+
+    def test_fifo_survives_nested_same_cycle_scheduling(self):
+        # Children scheduled *during* cycle 5 run after the events that
+        # were already queued for cycle 5, still in scheduling order.
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.schedule(5, lambda: log.append("child-a"))
+            engine.schedule(5, lambda: log.append("child-b"))
+
+        engine.schedule(5, first)
+        engine.schedule(5, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second", "child-a", "child-b"]
+
+    def test_clamped_past_events_keep_fifo_order(self):
+        # Events scheduled in the past clamp to now and slot in FIFO order
+        # behind everything already queued for the current cycle.
+        engine = Engine()
+        log = []
+
+        def late():
+            log.append("late")
+            engine.schedule(engine.now - 30, lambda: log.append("clamp-a"))
+            engine.schedule(0, lambda: log.append("clamp-b"))
+
+        engine.schedule(50, late)
+        engine.schedule(50, lambda: log.append("peer"))
+        engine.run()
+        assert log == ["late", "peer", "clamp-a", "clamp-b"]
+        assert engine.now == 50
+
+    def test_fifo_order_preserved_across_horizon_resume(self):
+        engine = Engine()
+        log = []
+        for name in ("a", "b"):
+            engine.schedule(10, lambda n=name: log.append(n))
+        engine.run(until=10)
+        assert log == []
+        for name in ("c", "d"):
+            engine.schedule(10, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_interleaved_components_serialize_by_schedule_call(self):
+        # Two "components" interleaving schedule calls for the same cycle
+        # observe one global FIFO order, not per-component order.
+        engine = Engine()
+        log = []
+        for index in range(3):
+            engine.schedule(7, lambda i=index: log.append(("alpha", i)))
+            engine.schedule(7, lambda i=index: log.append(("beta", i)))
+        engine.run()
+        assert log == [("alpha", 0), ("beta", 0), ("alpha", 1),
+                       ("beta", 1), ("alpha", 2), ("beta", 2)]
+
+
 class TestHorizon:
     def test_until_is_exclusive(self):
         engine = Engine()
