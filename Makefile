@@ -3,7 +3,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: all lint test test-contracts baseline rules bench
+# `make sweep` knobs
+JOBS ?= 4
+SCALE ?= smoke
+CACHE_DIR ?= .repro-cache
+RESULTS_DIR ?= results
+
+.PHONY: all lint test test-contracts baseline rules bench sweep
 
 all: lint test
 
@@ -29,3 +35,9 @@ rules:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## run every experiment in parallel with the result cache on;
+## interrupted sweeps pick up where they left off (same invocation)
+sweep:
+	$(PYTHON) -m repro.experiments --all --jobs $(JOBS) --scale $(SCALE) \
+		--cache-dir $(CACHE_DIR) --save-dir $(RESULTS_DIR)

@@ -5,19 +5,39 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments fig12
     python -m repro.experiments fig12 fig13 --scale small --seed 3
-    python -m repro.experiments --all
+    python -m repro.experiments --all --jobs 4 --save-dir results
+    python -m repro.experiments --all --jobs 4 --resume
+    python -m repro.experiments --diff results/before results/after
+
+Parallelism (``--jobs N``) runs through :mod:`repro.runner`: with several
+experiments selected, the experiments themselves fan out across the
+pool; with a single experiment, it runs in-process and its *inner*
+independent simulations (alone-run measurements, each GA generation's
+population) fan out instead.  Results are assembled by job id, never by
+completion order, so any ``--jobs`` value produces the same output as
+serial.
+
+``--cache-dir``/``--resume`` enable the content-addressed result cache:
+completed experiments are skipped on re-runs (the key covers experiment
+arguments, seed, scale, and a fingerprint of the source tree, so stale
+results can never be served).  ``--require-cached`` turns "everything
+was a cache hit" into an exit-code assertion for CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from . import REGISTRY, run_experiment
+from . import REGISTRY
+from ..metrics.report import format_table
+from ..runner import JobSpec, ResultCache, Runner, RunnerConfig, using_runner
+
+#: cache directory --resume falls back to when --cache-dir is not given
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate MITTS (ISCA 2016) tables and figures.")
@@ -34,7 +54,87 @@ def main(argv=None) -> int:
     parser.add_argument("--save-dir", default=None,
                         help="also save each result as JSON into this "
                              "directory")
+    sweep = parser.add_argument_group("parallel execution and caching")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default: 1, "
+                            "fully serial)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory; "
+                            "completed experiments are reused on re-runs")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume a previous sweep from the cache "
+                            f"(implies --cache-dir {DEFAULT_CACHE_DIR} "
+                            "when not given)")
+    sweep.add_argument("--require-cached", action="store_true",
+                       help="exit nonzero unless every experiment was a "
+                            "cache hit (CI resume assertion)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-experiment wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry attempts for failed/timed-out/crashed "
+                            "jobs (default: 2)")
+    sweep.add_argument("--no-progress", action="store_true",
+                       help="suppress progress/ETA lines on stderr")
+    diff = parser.add_argument_group("regression diffing")
+    diff.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                      help="compare two --save-dir result directories "
+                           "(exit 1 on significant metric changes)")
+    diff.add_argument("--diff-tolerance", type=float, default=0.02,
+                      help="relative change below which a metric delta "
+                           "is insignificant (default: 0.02)")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# --diff
+
+
+def run_diff(before: str, after: str, tolerance: float) -> int:
+    """Render summary-metric diffs between two saved result dirs."""
+    from .store import diff_result_dirs
+
+    report = diff_result_dirs(before, after, tolerance=tolerance)
+    rows = []
+    significant = 0
+    for name, records in sorted(report["experiments"].items()):
+        for record in records:
+            flag = "*" if record["significant"] else ""
+            significant += bool(record["significant"])
+            change = record["relative_change"]
+            rows.append([name, record["metric"],
+                         _number(record["before"]), _number(record["after"]),
+                         "n/a" if change is None else f"{change:+.2%}",
+                         flag])
+    print(format_table(
+        ["experiment", "metric", "before", "after", "change", "sig"],
+        rows, title=f"Result diff: {before} -> {after} "
+                    f"(tolerance {tolerance:.0%})"))
+    for name in report["only_before"]:
+        print(f"note: {name} present only in {before}")
+    for name in report["only_after"]:
+        print(f"note: {name} present only in {after}")
+    if not report["experiments"]:
+        print("note: no common experiment files to compare")
+        return 1
+    print(f"{significant} significant change(s) across "
+          f"{len(report['experiments'])} experiment(s)")
+    return 1 if significant else 0
+
+
+def _number(value) -> str:
+    return "missing" if value is None else f"{value:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# sweep driver
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.diff:
+        return run_diff(args.diff[0], args.diff[1], args.diff_tolerance)
 
     if args.list:
         for name in sorted(REGISTRY):
@@ -44,26 +144,70 @@ def main(argv=None) -> int:
     names = sorted(REGISTRY) if args.all else args.experiments
     if not names:
         parser.error("no experiments given (use --all or --list)")
-
     unknown = [name for name in names if name not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; "
                      f"known: {sorted(REGISTRY)}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.resume
+                                   else None)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = Runner(RunnerConfig(jobs=args.jobs, timeout=args.timeout,
+                                 retries=args.retries,
+                                 progress=not args.no_progress),
+                    cache=cache)
+    call_kwargs = tuple(sorted({"scale": args.scale,
+                                "seed": args.seed}.items()))
+    specs = [JobSpec(job_id=name, fn="repro.experiments:run_experiment",
+                     args=(name,), kwargs=call_kwargs,
+                     seed=args.seed, scale=args.scale)
+             for name in names]
+
+    # One experiment cannot be split across workers, so run it inline and
+    # let its inner simulations use the pool; several experiments fan out
+    # as whole jobs.
+    inline = args.jobs <= 1 or len(specs) == 1
+    try:
+        with using_runner(runner):
+            sweep = runner.run(specs, inline=inline, label="experiments")
+    finally:
+        runner.close()
 
     for name in names:
-        started = time.time()
-        result = run_experiment(name, scale=args.scale, seed=args.seed)
-        elapsed = time.time() - started
-        print(f"=== {name} ({args.scale}, seed {args.seed}, "
-              f"{elapsed:.1f}s)")
-        print(result.render())
+        outcome = sweep[name]
+        if not outcome.ok:
+            failure = outcome.failure
+            print(f"=== {name} ({args.scale}, seed {args.seed}) FAILED: "
+                  f"{failure.kind} after {failure.attempts} attempt(s): "
+                  f"{failure.error_type}: {failure.message}")
+            print()
+            continue
+        source = "cache" if outcome.cached else f"{outcome.duration:.1f}s"
+        print(f"=== {name} ({args.scale}, seed {args.seed}, {source})")
+        print(outcome.value.render())
         print()
         if args.save_dir:
             from .store import save_result
 
-            save_result(result, f"{args.save_dir}/{name}.json",
+            save_result(outcome.value, f"{args.save_dir}/{name}.json",
                         metadata={"scale": args.scale, "seed": args.seed,
-                                  "elapsed_seconds": elapsed})
+                                  "elapsed_seconds": outcome.duration,
+                                  "cached": outcome.cached,
+                                  "attempts": outcome.attempts})
+
+    if cache is not None:
+        print(f"cache hits: {sweep.cache_hits}/{len(names)}")
+    failures = sweep.failures
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: "
+              f"{[failure.job_id for failure in failures]}")
+        return 1
+    if args.require_cached and sweep.cache_hits < len(names):
+        print(f"--require-cached: only {sweep.cache_hits}/{len(names)} "
+              f"experiments came from the cache")
+        return 1
     return 0
 
 

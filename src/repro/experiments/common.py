@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.bins import BinSpec
 from ..core.shaper import MittsShaper
 from ..metrics.report import format_table
+from ..runner import get_runner
 from ..sched.base import FrFcfsScheduler
 from ..sched.fairqueue import FairQueueScheduler
 from ..sched.fst import FstController
@@ -132,16 +133,62 @@ def run_scheduler(name: str, traces: Sequence, config: SystemConfig,
 # ---------------------------------------------------------------------------
 # run helpers
 
-def measure_alone(traces: Sequence, config: SystemConfig,
-                  cycles: int) -> List[float]:
-    """Per-program work running alone on the same system configuration."""
-    work = []
-    for trace in traces:
-        system = SimSystem([trace], config=config,
-                           scheduler=FrFcfsScheduler(1))
-        stats = system.run(cycles)
-        work.append(float(stats.cores[0].work_cycles))
-    return work
+def _alone_work_one(trace, config: SystemConfig, cycles: int,
+                    scheduler_factory: Callable[[int], object]
+                    = FrFcfsScheduler) -> float:
+    """One program's work running alone (the pool-worker unit of
+    measure_alone; must stay a module-level function so job specs can
+    name it)."""
+    factory = scheduler_factory or FrFcfsScheduler
+    system = SimSystem([trace], config=config, scheduler=factory(1))
+    stats = system.run(cycles)
+    return float(stats.cores[0].work_cycles)
+
+
+def measure_alone(traces: Sequence, config: SystemConfig, cycles: int,
+                  scheduler_factory: Callable[[int], object]
+                  = FrFcfsScheduler) -> List[float]:
+    """Per-program work running alone on the same system configuration.
+
+    The per-program runs are independent simulations; when an ambient
+    :mod:`repro.runner` pool is installed they fan out across it (results
+    come back keyed by input order, so parallel equals serial).
+    """
+    runner = get_runner()
+    if runner is not None and runner.parallel and len(traces) > 1:
+        return runner.map(
+            "repro.experiments.common:_alone_work_one",
+            [(trace, config, cycles, scheduler_factory)
+             for trace in traces],
+            label="alone")
+    return [_alone_work_one(trace, config, cycles, scheduler_factory)
+            for trace in traces]
+
+
+def _score_genome(evaluator: FitnessEvaluator, genome) -> float:
+    """Score one genome (the pool-worker unit of a GA generation)."""
+    return float(evaluator(genome))
+
+
+def parallel_batch_evaluator(evaluator: FitnessEvaluator):
+    """A GA batch evaluator that fans a generation across the ambient
+    pool (serial fallback when none is installed).
+
+    The evaluator is pickled into each job: it is plain data (traces,
+    config, objective/scheduler references), so workers rebuild identical
+    simulations and the scores match the serial path bit for bit.
+    """
+
+    def batch(genomes) -> List[float]:
+        runner = get_runner()
+        if runner is None or not runner.parallel or len(genomes) <= 1:
+            return [float(evaluator(genome)) for genome in genomes]
+        return runner.map(
+            "repro.experiments.common:_score_genome",
+            [(evaluator, genome) for genome in genomes],
+            label="ga-eval")
+
+    return batch
 
 
 def slowdowns_against(alone: Sequence[float], stats) -> List[float]:
@@ -218,7 +265,8 @@ def optimize_mitts(traces: Sequence, config: SystemConfig, cycles: int,
     if alone_work is not None:
         evaluator.alone_work = list(alone_work)
     else:
-        evaluator.measure_alone()
+        evaluator.alone_work = measure_alone(
+            traces, config, cycles, scheduler_factory=scheduler_factory)
     if spec is None:
         spec = mix_bin_spec(len(traces))
     params = GaParams(generations=scale.ga_generations,
@@ -226,7 +274,9 @@ def optimize_mitts(traces: Sequence, config: SystemConfig, cycles: int,
     seeds = seed_genomes(spec, len(traces)) \
         + targeted_seeds(evaluator, spec)
     ga = GeneticAlgorithm(evaluator, spec, len(traces), params,
-                          repair=repair, seed_genomes=seeds)
+                          repair=repair, seed_genomes=seeds,
+                          batch_evaluator=parallel_batch_evaluator(
+                              evaluator))
     return ga.run(), evaluator
 
 
@@ -250,6 +300,7 @@ __all__ = [
     "get_scale",
     "measure_alone",
     "optimize_mitts",
+    "parallel_batch_evaluator",
     "run_scheduler",
     "slowdowns_against",
     "trace_for",

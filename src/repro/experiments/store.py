@@ -80,6 +80,32 @@ def diff_summaries(before: Result, after: Result,
     return records
 
 
+def diff_result_dirs(before_dir: Union[str, Path],
+                     after_dir: Union[str, Path],
+                     tolerance: float = 0.02) -> Dict:
+    """Compare every ``<experiment>.json`` common to two result dirs.
+
+    Returns ``{"experiments": {name: [diff records]}, "only_before":
+    [...], "only_after": [...]}`` where the per-experiment records come
+    from :func:`diff_summaries`.  This is the regression check behind
+    ``python -m repro.experiments --diff BEFORE_DIR AFTER_DIR``.
+    """
+    before_dir, after_dir = Path(before_dir), Path(after_dir)
+    before_files = {path.stem: path for path in before_dir.glob("*.json")}
+    after_files = {path.stem: path for path in after_dir.glob("*.json")}
+    common = sorted(set(before_files) & set(after_files))
+    experiments = {}
+    for name in common:
+        experiments[name] = diff_summaries(
+            load_result(before_files[name]), load_result(after_files[name]),
+            tolerance=tolerance)
+    return {
+        "experiments": experiments,
+        "only_before": sorted(set(before_files) - set(after_files)),
+        "only_after": sorted(set(after_files) - set(before_files)),
+    }
+
+
 def save_all(results: List[Result], directory: Union[str, Path],
              metadata: Dict = None) -> List[Path]:
     """Save a batch of results as ``<experiment>.json`` files."""

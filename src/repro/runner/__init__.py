@@ -1,0 +1,58 @@
+"""``repro.runner`` -- parallel, cached, fault-tolerant execution engine.
+
+The reproduction's credibility problem is evaluation count: the paper's
+GA budget is ~600 simulations per optimisation and the experiment suite
+multiplies that across figures, seeds, and scales.  This package makes
+many independent simulations cheap without touching the determinism
+contract:
+
+* :class:`JobSpec` -- picklable, content-hashed description of one unit
+  of work ("call this importable function with these arguments").
+* :class:`Runner` -- executes specs over a ``ProcessPoolExecutor`` with
+  per-job timeouts, bounded retry with exponential backoff, and
+  worker-crash recovery; results are keyed by job id in submission
+  order, never completion order, so ``jobs=N`` assembles bit-identically
+  to serial.
+* :class:`ResultCache` -- content-addressed on-disk cache keyed by
+  (spec hash, seed, scale, code fingerprint); re-runs and ``--resume``
+  skip completed work, corrupted entries are discarded and recomputed.
+* :func:`get_runner` / :func:`using_runner` -- the ambient-runner
+  context that lets ``experiments/common.py`` and the GA's batch
+  evaluator share the CLI's pool.
+
+Wall-clock time (timeouts, backoff, ETA) is confined to
+:mod:`repro.runner.wallclock`; nothing wall-clock-derived may flow into
+a result.
+"""
+
+from .cache import CacheHit, CacheStats, ResultCache
+from .context import get_runner, set_runner, using_runner
+from .engine import (JobFailure, JobOutcome, Runner, RunnerConfig,
+                     RunnerError, SweepResult)
+from .fingerprint import code_fingerprint, fingerprint_tree
+from .jobspec import (JobSpec, SpecError, callable_path, content_hash,
+                      resolve_callable)
+from .wallclock import JobTimeoutError
+
+__all__ = [
+    "CacheHit",
+    "CacheStats",
+    "JobFailure",
+    "JobOutcome",
+    "JobSpec",
+    "JobTimeoutError",
+    "ResultCache",
+    "Runner",
+    "RunnerConfig",
+    "RunnerError",
+    "SpecError",
+    "SweepResult",
+    "callable_path",
+    "code_fingerprint",
+    "content_hash",
+    "fingerprint_tree",
+    "get_runner",
+    "resolve_callable",
+    "set_runner",
+    "using_runner",
+]

@@ -1,0 +1,140 @@
+"""Content-addressed on-disk result cache.
+
+An entry's key is the SHA-256 of ``(spec hash, seed, scale, code
+fingerprint)``: identical work under identical code hits; changing any of
+the four misses.  Values are pickled with an integrity digest so a
+truncated or bit-rotted entry (killed run, full disk) is *discarded and
+recomputed*, never trusted and never fatal.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
+sharing a cache directory can only ever observe complete entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .fingerprint import code_fingerprint
+from .jobspec import JobSpec
+
+_MAGIC = b"repro-cache-v1\n"
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """Wrapper distinguishing "hit whose value is None" from a miss."""
+
+    value: Any
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
+
+@dataclass
+class ResultCache:
+    """Pickle-backed cache rooted at ``root``; see the module docstring."""
+
+    root: Union[str, Path]
+    #: override for tests; defaults to the live tree's fingerprint
+    fingerprint: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.fingerprint is None:
+            self.fingerprint = code_fingerprint()
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, spec: JobSpec) -> str:
+        material = "\n".join([spec.spec_hash(), repr(spec.seed),
+                              repr(spec.scale), self.fingerprint])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def load(self, spec: JobSpec) -> Optional[CacheHit]:
+        """The cached value for ``spec``, or None on miss/corruption."""
+        key = self.key_for(spec)
+        path = self._path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = self._decode(raw, key)
+        except Exception:
+            # Anything a damaged pickle can throw lands here; the entry
+            # is evidence-free garbage, so drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        return CacheHit(payload["value"])
+
+    def store(self, spec: JobSpec, value: Any) -> Optional[Path]:
+        """Atomically persist ``value`` for ``spec``.
+
+        Unpicklable values are skipped (the sweep still succeeds; it just
+        will not resume for free) rather than failing the job.
+        """
+        key = self.key_for(spec)
+        path = self._path_for(key)
+        try:
+            body = pickle.dumps({"key": key, "job_id": spec.job_id,
+                                 "value": value},
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.stats.corrupt += 1
+            return None
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(_MAGIC + digest + b"\n" + body)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(raw: bytes, key: str) -> dict:
+        if not raw.startswith(_MAGIC):
+            raise ValueError("bad cache magic")
+        rest = raw[len(_MAGIC):]
+        digest, separator, body = rest.partition(b"\n")
+        if not separator:
+            raise ValueError("truncated cache entry")
+        if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+            raise ValueError("cache entry checksum mismatch")
+        payload = pickle.loads(body)
+        if payload.get("key") != key:
+            raise ValueError("cache entry key mismatch")
+        return payload
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            # Already gone or unwritable; the miss was recorded either way.
+            return

@@ -1,0 +1,99 @@
+"""Progress and ETA reporting for sweeps.
+
+Reports to ``stderr`` so stdout stays clean for experiment tables and
+JSON.  The ETA is a deliberately simple estimate -- mean wall-clock per
+*computed* job, scaled by remaining jobs over worker count -- which is
+accurate for the homogeneous fan-outs the runner executes (same
+experiment at the same scale, or one GA generation's genomes).
+
+Wall-clock access goes through :mod:`repro.runner.wallclock` only; ETA
+numbers are presentation, never results.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import wallclock
+
+
+@dataclass
+class ProgressReporter:
+    """Line-per-update progress for one sweep."""
+
+    total: int
+    label: str = "sweep"
+    enabled: bool = True
+    jobs: int = 1
+    #: minimum seconds between printed lines (final line always prints)
+    min_interval: float = 0.5
+    stream: Optional[object] = None
+
+    done: int = field(default=0, init=False)
+    cached: int = field(default=0, init=False)
+    failed: int = field(default=0, init=False)
+    _computed_seconds: float = field(default=0.0, init=False)
+    _computed_jobs: int = field(default=0, init=False)
+    _started: float = field(default=0.0, init=False)
+    _last_print: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self._started = wallclock.now()
+
+    # ------------------------------------------------------------------
+
+    def job_done(self, cached: bool = False, failed: bool = False,
+                 duration: float = 0.0) -> None:
+        """Record one finished job and maybe print a progress line."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        elif failed:
+            self.failed += 1
+        if not cached:
+            self._computed_seconds += max(duration, 0.0)
+            self._computed_jobs += 1
+        self._maybe_print(final=self.done >= self.total)
+
+    def eta_seconds(self) -> Optional[float]:
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if self._computed_jobs == 0:
+            return None
+        mean = self._computed_seconds / self._computed_jobs
+        return mean * remaining / max(1, self.jobs)
+
+    # ------------------------------------------------------------------
+
+    def _maybe_print(self, final: bool) -> None:
+        if not self.enabled:
+            return
+        now = wallclock.now()
+        if not final and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        eta = self.eta_seconds()
+        eta_text = "" if eta is None else f", eta {_format_seconds(eta)}"
+        extras = []
+        if self.cached:
+            extras.append(f"{self.cached} cached")
+        if self.failed:
+            extras.append(f"{self.failed} failed")
+        extra_text = f" ({', '.join(extras)})" if extras else ""
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(f"[{self.label}] {self.done}/{self.total} done"
+              f"{extra_text}{eta_text}", file=stream, flush=True)
+
+
+def _format_seconds(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

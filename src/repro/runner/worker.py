@@ -1,0 +1,57 @@
+"""The function that runs inside pool workers.
+
+``execute_job`` is the *only* code the runner ships across the process
+boundary.  It never lets an exception escape: every outcome -- success,
+timeout, simulation bug -- comes back as a plain, picklable
+``(job_id, status, data)`` tuple so one bad job cannot poison the pool's
+result channel.  (A worker dying outright -- ``os._exit``, OOM kill,
+segfault -- is the one failure mode this cannot absorb; the engine
+detects the broken pool and rebuilds it.)
+
+Workers obey the determinism contract: the only wall-clock facility used
+here is the timeout guard from :mod:`repro.runner.wallclock`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Tuple
+
+from .jobspec import resolve_callable
+from .wallclock import JobTimeoutError, deadline
+
+#: result statuses a worker can report
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+
+def job_payload(spec, timeout) -> Dict[str, Any]:
+    """The plain-data form of a spec that crosses into the worker."""
+    return {"job_id": spec.job_id, "fn": spec.fn, "args": spec.args,
+            "kwargs": spec.kwargs, "timeout": timeout}
+
+
+def describe_exception(exc: BaseException) -> Dict[str, str]:
+    """A picklable description of a failure (the exception itself may
+    hold unpicklable simulator state, so only strings travel back)."""
+    return {
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+    }
+
+
+def execute_job(payload: Dict[str, Any]) -> Tuple[str, str, Any]:
+    """Run one job; always returns, never raises (see module docstring)."""
+    job_id = payload["job_id"]
+    try:
+        fn = resolve_callable(payload["fn"])
+        with deadline(payload.get("timeout"), what=f"job {job_id!r}"):
+            value = fn(*payload["args"], **dict(payload["kwargs"]))
+        return (job_id, STATUS_OK, value)
+    except JobTimeoutError as exc:
+        return (job_id, STATUS_TIMEOUT, describe_exception(exc))
+    except Exception as exc:
+        return (job_id, STATUS_ERROR, describe_exception(exc))

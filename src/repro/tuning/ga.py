@@ -14,10 +14,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.bins import BinConfig, BinSpec
-from .genome import Genome, crossover, mutate, random_genome
+from .genome import Genome, crossover, genome_key, mutate, random_genome
+
+#: scores a batch of genomes; must return one fitness per genome, in
+#: order.  Injected to fan a generation's evaluations out in parallel
+#: (see repro.experiments.common.parallel_batch_evaluator).
+BatchEvaluator = Callable[[Sequence[Genome]], Sequence[float]]
 
 
 #: paper-scale parameters (Section IV-B)
@@ -52,12 +57,20 @@ class GaParams:
 
 @dataclass
 class GaResult:
-    """Best genome found plus the per-generation best-fitness history."""
+    """Best genome found plus the per-generation best-fitness history.
+
+    ``evaluations`` counts *deduplicated* fitness computations: elites
+    carried between generations and duplicate children are scored once
+    and served from the memo thereafter (``memo_hits`` counts those free
+    lookups).  ``evaluations + memo_hits`` equals the naive
+    generations x population budget.
+    """
 
     best_genome: Genome
     best_fitness: float
     history: List[float] = field(default_factory=list)
     evaluations: int = 0
+    memo_hits: int = 0
 
 
 class GeneticAlgorithm:
@@ -67,13 +80,15 @@ class GeneticAlgorithm:
                  spec: BinSpec, num_cores: int,
                  params: GaParams = None,
                  repair: Optional[Callable[[BinConfig], BinConfig]] = None,
-                 seed_genomes: Optional[List[Genome]] = None) -> None:
+                 seed_genomes: Optional[List[Genome]] = None,
+                 batch_evaluator: Optional[BatchEvaluator] = None) -> None:
         self.fitness = fitness
         self.spec = spec
         self.num_cores = num_cores
         self.params = params or GaParams()
         self.repair = repair
         self.seed_genomes = seed_genomes or []
+        self.batch_evaluator = batch_evaluator
 
     # ------------------------------------------------------------------
 
@@ -96,19 +111,52 @@ class GeneticAlgorithm:
                     for _ in range(self.params.tournament)]
         return max(entrants, key=lambda pair: pair[0])[1]
 
+    def _evaluate_batch(self, genomes: List[Genome]) -> List[float]:
+        """Score genomes that missed the memo, as one batch."""
+        if self.batch_evaluator is not None:
+            scores = list(self.batch_evaluator(genomes))
+            if len(scores) != len(genomes):
+                raise ValueError(
+                    f"batch evaluator returned {len(scores)} scores for "
+                    f"{len(genomes)} genomes")
+            return [float(score) for score in scores]
+        return [float(self.fitness(genome)) for genome in genomes]
+
     def run(self) -> GaResult:
         rng = random.Random(self.params.seed)
         population = self._initial_population(rng)
         history: List[float] = []
+        memo: Dict[tuple, float] = {}
         evaluations = 0
+        memo_hits = 0
         best_genome: Optional[Genome] = None
         best_fitness = float("-inf")
 
         for _ in range(self.params.generations):
+            # Score only genomes the memo has never seen (elites carried
+            # over -- and duplicate children -- cost zero evaluations);
+            # fitness is deterministic, so memoisation cannot change the
+            # search trajectory, only the work done.
+            fresh: List[Genome] = []
+            fresh_keys: List[tuple] = []
+            batch_seen = set()
+            for genome in population:
+                key = genome_key(genome)
+                if key in memo or key in batch_seen:
+                    continue
+                batch_seen.add(key)
+                fresh.append(genome)
+                fresh_keys.append(key)
+            if fresh:
+                for key, score in zip(fresh_keys,
+                                      self._evaluate_batch(fresh)):
+                    memo[key] = score
+                evaluations += len(fresh)
+            memo_hits += len(population) - len(fresh)
+
             scored = []
             for genome in population:
-                score = self.fitness(genome)
-                evaluations += 1
+                score = memo[genome_key(genome)]
                 scored.append((score, genome))
                 if score > best_fitness:
                     best_fitness = score
@@ -129,4 +177,5 @@ class GeneticAlgorithm:
 
         assert best_genome is not None
         return GaResult(best_genome=best_genome, best_fitness=best_fitness,
-                        history=history, evaluations=evaluations)
+                        history=history, evaluations=evaluations,
+                        memo_hits=memo_hits)

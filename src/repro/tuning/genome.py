@@ -112,6 +112,18 @@ def seed_genomes(spec: BinSpec, num_cores: int,
             [slow] * num_cores]
 
 
+def genome_key(genome: Genome) -> tuple:
+    """A hashable identity for a genome, for fitness memoisation.
+
+    Two genomes with equal specs and equal per-core credit vectors
+    describe the same shaper configuration and therefore the same
+    (deterministic) fitness.
+    """
+    return tuple((config.spec.num_bins, config.spec.interval_length,
+                  config.spec.max_credits, config.credits)
+                 for config in genome)
+
+
 def apply_repair(genome: Genome,
                  repair: Optional[Callable[[BinConfig], BinConfig]]) -> Genome:
     """Run an optional per-core repair operator (constraint projection)."""

@@ -1,0 +1,60 @@
+"""Module-level job functions for the runner tests.
+
+Job specs name callables by ``module:qualname`` path, so anything a
+worker executes must live at module scope in an importable module --
+hence this helper module rather than closures inside the tests.
+
+Cross-process state (attempt counters, crash-once markers) goes through
+the filesystem: the test hands each function a path inside ``tmp_path``.
+"""
+
+import os
+import time
+
+
+def add_one(x):
+    return x + 1
+
+
+def echo(value):
+    return value
+
+
+def always_fails(message):
+    raise RuntimeError(message)
+
+
+def sleep_then_return(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def crash_hard():
+    """Kill the worker process outright (bypasses all exception handling)."""
+    os._exit(17)
+
+
+def crash_once_then_return(marker_path, value):
+    """Die the first time, succeed on retry (worker-crash recovery)."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write("crashed")
+        os._exit(19)
+    return value
+
+
+def fail_until_attempt(counter_path, needed_attempts, value):
+    """Raise until the cross-process attempt counter reaches the target."""
+    with open(counter_path, "a", encoding="utf-8") as handle:
+        handle.write("x")
+    if os.path.getsize(counter_path) < needed_attempts:
+        raise RuntimeError(
+            f"attempt {os.path.getsize(counter_path)} of {needed_attempts}")
+    return value
+
+
+def record_attempt(log_path, value):
+    """Append one line per call: lets tests count real executions."""
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    return value

@@ -80,3 +80,85 @@ class TestReconfigureApi:
         tuner._begin_config_phase()  # forced restart (stale events live)
         system.run(60_000)  # must complete without IndexError
         assert tuner.best_genome is not None
+
+
+class TestSweepFlags:
+    """--jobs / --cache-dir / --resume / --require-cached."""
+
+    def test_jobs_flag_smoke(self, capsys):
+        assert main(["hw_cost", "--jobs", "2", "--no-progress"]) == 0
+        assert "=== hw_cost" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hw_cost", "--jobs", "0"])
+
+    def test_resume_reports_full_cache_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["hw_cost", "--cache-dir", cache_dir,
+                     "--no-progress"]) == 0
+        first = capsys.readouterr().out
+        assert "cache hits: 0/1" in first
+        assert main(["hw_cost", "--cache-dir", cache_dir,
+                     "--require-cached", "--no-progress"]) == 0
+        second = capsys.readouterr().out
+        assert "cache hits: 1/1" in second
+        assert "(smoke, seed 1, cache)" in second
+
+    def test_require_cached_fails_on_cold_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cold")
+        assert main(["hw_cost", "--cache-dir", cache_dir,
+                     "--require-cached", "--no-progress"]) == 1
+        assert "--require-cached" in capsys.readouterr().out
+
+    def test_cache_distinguishes_seed(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["hw_cost", "--cache-dir", cache_dir,
+                     "--no-progress"]) == 0
+        capsys.readouterr()
+        assert main(["hw_cost", "--seed", "2", "--cache-dir", cache_dir,
+                     "--no-progress"]) == 0
+        assert "cache hits: 0/1" in capsys.readouterr().out
+
+
+class TestDiffCommand:
+    """python -m repro.experiments --diff BEFORE_DIR AFTER_DIR."""
+
+    def save(self, directory, summary):
+        from repro.experiments.common import Result
+        from repro.experiments.store import save_result
+
+        result = Result(experiment="fake", title="t", headers=["h"],
+                        rows=[[1]], summary=dict(summary))
+        save_result(result, directory / "fake.json")
+
+    def test_identical_dirs_exit_zero(self, tmp_path, capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, {"metric": 1.0})
+        self.save(after, {"metric": 1.0})
+        assert main(["--diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out
+        assert "0 significant change(s)" in out
+
+    def test_significant_change_exits_nonzero(self, tmp_path, capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, {"metric": 1.0})
+        self.save(after, {"metric": 2.0})
+        assert main(["--diff", str(before), str(after)]) == 1
+        out = capsys.readouterr().out
+        assert "+100.00%" in out
+
+    def test_within_tolerance_exits_zero(self, tmp_path):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, {"metric": 1.0})
+        self.save(after, {"metric": 1.01})
+        assert main(["--diff", str(before), str(after)]) == 0
+        assert main(["--diff", str(before), str(after),
+                     "--diff-tolerance", "0.001"]) == 1
+
+    def test_no_common_files_exits_nonzero(self, tmp_path, capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        before.mkdir(), after.mkdir()
+        assert main(["--diff", str(before), str(after)]) == 1
+        assert "no common experiment files" in capsys.readouterr().out

@@ -82,3 +82,42 @@ class TestDiff:
         b = sample_result(metric=1.0)
         records = diff_summaries(a, b)
         assert records[0]["significant"]
+
+
+class TestDiffResultDirs:
+    """Directory-level diffing behind the --diff CLI."""
+
+    def save(self, directory, name, summary):
+        from repro.experiments.common import Result
+        from repro.experiments.store import save_result
+
+        save_result(Result(experiment=name, title="t", headers=["h"],
+                           rows=[], summary=dict(summary)),
+                    directory / f"{name}.json")
+
+    def test_reports_common_and_one_sided_files(self, tmp_path):
+        from repro.experiments.store import diff_result_dirs
+
+        before, after = tmp_path / "before", tmp_path / "after"
+        self.save(before, "shared", {"m": 1.0})
+        self.save(after, "shared", {"m": 1.5})
+        self.save(before, "gone", {"m": 1.0})
+        self.save(after, "new", {"m": 1.0})
+        report = diff_result_dirs(before, after)
+        assert set(report["experiments"]) == {"shared"}
+        assert report["only_before"] == ["gone"]
+        assert report["only_after"] == ["new"]
+        (record,) = report["experiments"]["shared"]
+        assert record["metric"] == "m"
+        assert record["significant"]
+
+    def test_tolerance_passthrough(self, tmp_path):
+        from repro.experiments.store import diff_result_dirs
+
+        before, after = tmp_path / "before", tmp_path / "after"
+        self.save(before, "e", {"m": 1.0})
+        self.save(after, "e", {"m": 1.05})
+        loose = diff_result_dirs(before, after, tolerance=0.10)
+        tight = diff_result_dirs(before, after, tolerance=0.01)
+        assert not loose["experiments"]["e"][0]["significant"]
+        assert tight["experiments"]["e"][0]["significant"]
