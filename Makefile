@@ -9,7 +9,8 @@ SCALE ?= smoke
 CACHE_DIR ?= .repro-cache
 RESULTS_DIR ?= results
 
-.PHONY: all lint test test-contracts baseline rules bench sweep
+.PHONY: all lint test test-contracts baseline rules bench bench-quick \
+	bench-figures sweep
 
 all: lint test
 
@@ -33,7 +34,18 @@ baseline:
 rules:
 	$(PYTHON) -m repro.analysis --list-rules
 
+## simulator throughput benchmark; writes BENCH_sim.json and fails on a
+## >30% events/sec regression against the committed baseline
 bench:
+	$(PYTHON) -m repro.bench --baseline benchmarks/perf/baseline.json
+
+## CI smoke variant of `bench` (shorter runs, fewer repeats)
+bench-quick:
+	$(PYTHON) -m repro.bench --quick \
+		--baseline benchmarks/perf/baseline.json
+
+## paper-figure microbenchmarks (pytest-benchmark; the old `make bench`)
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 ## run every experiment in parallel with the result cache on;

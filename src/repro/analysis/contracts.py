@@ -87,6 +87,26 @@ def check(condition: bool, message: str, *args: object) -> None:
         raise ContractViolation(message % args if args else message)
 
 
+def hot_bind(bound_method: Callable) -> Callable:
+    """Fastest safe callable for a contract-wrapped bound method.
+
+    When contracts are disabled at bind time, returns the *undecorated*
+    method re-bound to the same instance, eliminating the wrapper's
+    per-call frame on hot paths.  When contracts are enabled -- or the
+    method was never wrapped -- the original bound method is returned
+    unchanged.  Like :class:`~repro.sim.engine.Engine`, the flag is
+    captured at bind time: bind inside :func:`enabled_scope` (or under
+    ``REPRO_CONTRACTS=1``) to keep the checks.
+    """
+    if _enabled:
+        return bound_method
+    func = getattr(bound_method, "__func__", None)
+    raw = getattr(func, "__wrapped__", None)
+    if raw is None:
+        return bound_method
+    return raw.__get__(bound_method.__self__)
+
+
 def invariant(*predicates: Callable[[object], bool],
               when: str = "post") -> Callable:
     """Method decorator asserting object invariants around a call.

@@ -1,0 +1,156 @@
+"""Simulator throughput benchmarks (``python -m repro.bench``).
+
+This package measures the *simulator's* speed -- events per wall-clock
+second and wall time per run -- not the simulated system's performance.
+It exists so that event-kernel changes can be judged against a committed
+baseline: the CI perf-smoke job runs ``python -m repro.bench --quick``
+and fails when events/sec regresses more than a tolerance against
+``benchmarks/perf/baseline.json``.
+
+Two seeded workloads cover the two main simulation shapes:
+
+* ``single`` -- one ``mcf``-profile core on the scaled single-program
+  configuration (small LLC, one shaper port).
+* ``mix4``   -- the four-core workload mix 1 on the scaled multi-program
+  configuration (shared LLC, four ports, FCFS fallback scheduler).
+
+Both are fully deterministic (fixed profiles, fixed seeds), so event
+counts are reproducible run to run; only wall time varies.  Wall-clock
+reads go through :mod:`repro.runner.wallclock`, the repo's single
+sanctioned real-time access point, and never flow into simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..runner import wallclock
+from ..sim.system import (SCALED_MULTI_CONFIG, SCALED_SINGLE_CONFIG,
+                          SimSystem)
+from ..workloads.benchmarks import trace_for
+from ..workloads.mixes import workload_traces
+
+#: cycles simulated per repeat in full / quick mode
+FULL_CYCLES = 600_000
+QUICK_CYCLES = 150_000
+#: repeats per workload (best-of is reported)
+FULL_REPEATS = 4
+QUICK_REPEATS = 2
+
+SCHEMA = "repro.bench/v1"
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One named, seeded simulator configuration to time."""
+
+    name: str
+    build: Callable[[], SimSystem]
+
+
+def _build_single() -> SimSystem:
+    return SimSystem([trace_for("mcf", seed=7)],
+                     config=SCALED_SINGLE_CONFIG)
+
+
+def _build_mix4() -> SimSystem:
+    return SimSystem(workload_traces(1, seed=7),
+                     config=SCALED_MULTI_CONFIG)
+
+
+WORKLOADS = (
+    BenchWorkload("single", _build_single),
+    BenchWorkload("mix4", _build_mix4),
+)
+
+
+def time_workload(workload: BenchWorkload, cycles: int,
+                  repeats: int) -> Dict:
+    """Time ``repeats`` fresh runs of ``workload``; report the best.
+
+    Each repeat constructs a fresh system (so caches, heaps and stats
+    start cold) and times only :meth:`SimSystem.run`.  The event count is
+    identical across repeats -- the simulation is deterministic -- so the
+    best wall time gives the peak events/sec the kernel can sustain.
+    """
+    times: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        system = workload.build()
+        start = wallclock.now()
+        system.run(cycles)
+        elapsed = wallclock.now() - start
+        times.append(elapsed)
+        events = system.engine.events_executed
+    best = min(times)
+    return {
+        "cycles": cycles,
+        "repeats": repeats,
+        "events_executed": events,
+        "wall_seconds": round(best, 6),
+        "wall_seconds_all": [round(t, 6) for t in times],
+        "events_per_second": round(events / best, 1) if best > 0 else None,
+    }
+
+
+def run_benchmarks(quick: bool = False,
+                   workload_names: Optional[List[str]] = None) -> Dict:
+    """Run the selected workloads and return the result document."""
+    cycles = QUICK_CYCLES if quick else FULL_CYCLES
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    selected = [w for w in WORKLOADS
+                if workload_names is None or w.name in workload_names]
+    if not selected:
+        known = [w.name for w in WORKLOADS]
+        raise ValueError(f"no matching workloads; known: {known}")
+    results = {w.name: time_workload(w, cycles, repeats) for w in selected}
+    return {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "workloads": results,
+    }
+
+
+def compare_to_baseline(results: Dict, baseline: Dict,
+                        max_regression: float) -> Dict:
+    """Compare events/sec against a baseline document.
+
+    Returns a comparison record per shared workload with the fractional
+    change and a pass/fail flag; a workload fails when its events/sec
+    dropped more than ``max_regression`` (e.g. ``0.30``) below baseline.
+    Missing workloads on either side are skipped, not failed -- a renamed
+    workload should not brick CI until the baseline is regenerated.
+    """
+    comparisons = {}
+    base_workloads = baseline.get("workloads", {})
+    for name, result in results["workloads"].items():
+        base = base_workloads.get(name)
+        if base is None or not base.get("events_per_second"):
+            continue
+        base_eps = base["events_per_second"]
+        cur_eps = result["events_per_second"] or 0.0
+        change = (cur_eps - base_eps) / base_eps
+        comparisons[name] = {
+            "baseline_events_per_second": base_eps,
+            "events_per_second": cur_eps,
+            "change": round(change, 4),
+            "ok": change >= -max_regression,
+        }
+    return {
+        "max_regression": max_regression,
+        "workloads": comparisons,
+        "ok": all(c["ok"] for c in comparisons.values()),
+    }
+
+
+def load_json(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dump_json(document: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

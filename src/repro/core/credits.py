@@ -33,6 +33,8 @@ class CreditState:
     those two register files plus deduct/refund/replenish operations.
     """
 
+    __slots__ = ("_config", "counts")
+
     def __init__(self, config: BinConfig) -> None:
         self._config = config
         self.counts: List[int] = list(config.credits)

@@ -21,6 +21,8 @@ class SourceLimiter:
     :meth:`on_llc_response` (the hybrid design of Section III-D).
     """
 
+    __slots__ = ()
+
     def earliest_issue(self, now: int) -> Optional[int]:
         """First cycle >= ``now`` a request may be released.
 
@@ -45,6 +47,8 @@ class SourceLimiter:
 class NoLimiter(SourceLimiter):
     """Pass-through: requests release immediately (unshaped baseline)."""
 
+    __slots__ = ()
+
     def earliest_issue(self, now: int) -> Optional[int]:
         return now
 
@@ -61,6 +65,8 @@ class StaticLimiter(SourceLimiter):
     Implemented as a minimum spacing of ``interval`` cycles between
     consecutive releases.
     """
+
+    __slots__ = ("interval", "_last_release")
 
     def __init__(self, interval: int) -> None:
         if interval < 0:
@@ -94,6 +100,8 @@ class TokenBucketLimiter(SourceLimiter):
     limiter.  Provided as a reference point between the static limiter and
     full distribution shaping.
     """
+
+    __slots__ = ("fill_interval", "capacity", "_tokens", "_last_update")
 
     def __init__(self, fill_interval: int, capacity: int) -> None:
         if fill_interval < 1:

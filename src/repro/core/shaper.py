@@ -33,6 +33,11 @@ from .replenish import ReplenishPolicy, ResetReplenisher
 class MittsShaper(SourceLimiter):
     """Bin-based inter-arrival-time traffic shaper for one core."""
 
+    __slots__ = ("state", "replenisher", "method", "_last_release",
+                 "_pending_bin", "_pending_stamp", "_last_confirmed_miss",
+                 "released", "stalled_requests", "total_stall_cycles",
+                 "refunds")
+
     METHOD_TIMESTAMP = 1
     METHOD_DEDUCT_REFUND = 2
 

@@ -4,17 +4,22 @@ The default interleaving is row:bank:column (consecutive cache lines walk
 the columns of one row, then move to the next bank), which is the scheme
 DRAMSim2 defaults to and what gives streaming workloads their high
 row-buffer hit rates.
+
+Mapping runs once per DRAM service, so the mapper precomputes shift/mask
+pairs for power-of-two geometries (every shipped
+:class:`~repro.dram.timing.DramTiming`) and exposes
+:meth:`AddressMapper.flat_index` so callers that already mapped an address
+do not map it a second time just to find the flat bank index.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple, Optional, Tuple
 
 from .timing import DramTiming
 
 
-@dataclass(frozen=True)
-class DramCoordinates:
+class DramCoordinates(NamedTuple):
     """Location of one cache line in the DRAM geometry."""
 
     channel: int
@@ -27,6 +32,13 @@ class DramCoordinates:
     def flat_bank(self) -> int:
         """Globally unique bank index (channel-major)."""
         return self.bank + self.rank * 1024 + self.channel * 1024 * 1024
+
+
+def _shift_mask(value: int) -> Optional[Tuple[int, int]]:
+    """``(shift, mask)`` for a power-of-two ``value``, else ``None``."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1, value - 1
+    return None
 
 
 class AddressMapper:
@@ -51,9 +63,43 @@ class AddressMapper:
         self.timing = timing
         self.scheme = scheme
         self.columns_per_row = timing.row_buffer_bytes // timing.line_bytes
+        # Shift/mask fast path for power-of-two geometries (all shipped
+        # timings); any non-power-of-two dimension falls back to div/mod.
+        dims = (timing.line_bytes, self.columns_per_row,
+                timing.banks_per_rank, timing.ranks_per_channel,
+                timing.channels)
+        pairs = [_shift_mask(dim) for dim in dims]
+        self._pow2 = None
+        if all(pair is not None for pair in pairs):
+            self._pow2 = tuple(pairs)
 
     def map(self, address: int) -> DramCoordinates:
-        line = address // self.timing.line_bytes
+        timing = self.timing
+        pow2 = self._pow2
+        if pow2 is not None:
+            (line_s, _), (col_s, col_m), (bank_s, bank_m), \
+                (rank_s, rank_m), (chan_s, chan_m) = pow2
+            line = address >> line_s
+            if self.scheme == "row":
+                column = line & col_m
+                line >>= col_s
+                bank = line & bank_m
+                line >>= bank_s
+                rank = line & rank_m
+                line >>= rank_s
+                channel = line & chan_m
+                row = line >> chan_s
+            else:
+                channel = line & chan_m
+                line >>= chan_s
+                bank = line & bank_m
+                line >>= bank_s
+                rank = line & rank_m
+                line >>= rank_s
+                column = line & col_m
+                row = line >> col_s
+            return DramCoordinates(channel, rank, bank, row, column)
+        line = address // timing.line_bytes
         if self.scheme == "row":
             return self._map_row_interleaved(line)
         return self._map_bank_interleaved(line)
@@ -84,8 +130,12 @@ class AddressMapper:
         return DramCoordinates(channel=channel, rank=rank, bank=bank,
                                row=row, column=column)
 
+    def flat_index(self, coords: DramCoordinates) -> int:
+        """Flat bank index of already-mapped coordinates (no re-mapping)."""
+        timing = self.timing
+        return (coords.channel * timing.ranks_per_channel
+                + coords.rank) * timing.banks_per_rank + coords.bank
+
     def bank_index(self, address: int) -> int:
         """Flat bank index in ``range(timing.total_banks)``."""
-        coords = self.map(address)
-        return (coords.channel * self.timing.ranks_per_channel
-                + coords.rank) * self.timing.banks_per_rank + coords.bank
+        return self.flat_index(self.map(address))

@@ -9,7 +9,7 @@ from ..analysis import contracts
 from .timing import DramTiming
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """One DRAM bank's row-buffer state machine.
 

@@ -20,6 +20,9 @@ from .timing import DramTiming
 class DramDevice:
     """Request-level DRAM model with banked row buffers."""
 
+    __slots__ = ("timing", "mapper", "banks", "bus_free", "_next_refresh",
+                 "_refresh_bank", "_t_bl")
+
     def __init__(self, timing: DramTiming,
                  mapping_scheme: str = "row") -> None:
         self.timing = timing
@@ -29,6 +32,7 @@ class DramDevice:
         self.bus_free: List[int] = [0] * timing.channels
         self._next_refresh = timing.t_refi if timing.refresh_enabled else None
         self._refresh_bank = 0
+        self._t_bl = timing.t_bl
 
     def _maybe_refresh(self, now: int) -> None:
         """Round-robin per-bank refresh, one bank per tREFI/banks slot."""
@@ -43,8 +47,8 @@ class DramDevice:
     def would_row_hit(self, address: int) -> bool:
         """True if ``address`` would hit the currently open row of its bank."""
         coords = self.mapper.map(address)
-        bank = self.banks[self.mapper.bank_index(address)]
-        return bank.classify(coords.row) == "hit"
+        bank = self.banks[self.mapper.flat_index(coords)]
+        return bank.open_row == coords.row
 
     def bank_ready_cycle(self, address: int) -> int:
         """Cycle at which the bank owning ``address`` can start a command."""
@@ -52,14 +56,22 @@ class DramDevice:
 
     def service(self, address: int, now: int, is_write: bool = False) -> int:
         """Service one cache-line request; returns the data-complete cycle."""
-        self._maybe_refresh(now)
-        coords = self.mapper.map(address)
-        bank = self.banks[self.mapper.bank_index(address)]
+        if self._next_refresh is not None and now >= self._next_refresh:
+            self._maybe_refresh(now)
+        mapper = self.mapper
+        coords = mapper.map(address)
+        bank = self.banks[mapper.flat_index(coords)]
         done = bank.access(coords.row, now, is_write=is_write)
         # Serialise the data burst on the channel bus.
-        bus_start = max(done - self.timing.t_bl, self.bus_free[coords.channel])
-        done = bus_start + self.timing.t_bl
-        self.bus_free[coords.channel] = done
+        t_bl = self._t_bl
+        bus_free = self.bus_free
+        channel = coords.channel
+        bus_start = done - t_bl
+        free_at = bus_free[channel]
+        if free_at > bus_start:
+            bus_start = free_at
+        done = bus_start + t_bl
+        bus_free[channel] = done
         return done
 
     @property

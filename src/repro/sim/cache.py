@@ -4,6 +4,12 @@ Used for both the per-core L1s and the (shared or private) LLC.  Tag state
 is exact -- real sets, ways and LRU order -- because Figure 2's observation
 (a larger LLC both shrinks and right-shifts the inter-arrival distribution)
 only emerges from real locality filtering, not from a flat miss ratio.
+
+The lookup path is hot (every simulated access goes through an L1, most
+through the LLC too), so indexing is precomputed: power-of-two line sizes
+and set counts -- every shipped configuration -- use shift/mask arithmetic
+instead of div/mod, and LRU promotion uses ``OrderedDict.move_to_end``
+(one C call) instead of pop-and-reinsert.
 """
 
 from __future__ import annotations
@@ -11,6 +17,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+
+def _shift_for(value: int) -> Optional[int]:
+    """log2 of ``value`` when it is a power of two, else ``None``."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
 
 
 @dataclass(frozen=True)
@@ -41,6 +54,10 @@ class Cache:
     so the caller can generate writeback traffic.
     """
 
+    __slots__ = ("geometry", "_sets", "hits", "misses", "writebacks",
+                 "_line_shift", "_set_mask", "_num_sets", "_ways",
+                 "_line_bytes")
+
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
         self._sets: List["OrderedDict[int, bool]"] = [
@@ -48,14 +65,32 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        # Precomputed indexing: all shipped geometries are powers of two;
+        # a non-power-of-two geometry falls back to div/mod (same result).
+        self._num_sets = geometry.num_sets
+        self._ways = geometry.ways
+        self._line_bytes = geometry.line_bytes
+        self._line_shift = _shift_for(geometry.line_bytes)
+        set_shift = _shift_for(self._num_sets)
+        self._set_mask = self._num_sets - 1 if set_shift is not None else None
 
     def _locate(self, address: int) -> Tuple[int, int]:
-        line = address // self.geometry.line_bytes
-        return line % self.geometry.num_sets, line
+        shift = self._line_shift
+        line = address >> shift if shift is not None \
+            else address // self._line_bytes
+        mask = self._set_mask
+        set_index = line & mask if mask is not None \
+            else line % self._num_sets
+        return set_index, line
 
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU or filling."""
-        set_index, line = self._locate(address)
+        shift = self._line_shift
+        line = address >> shift if shift is not None \
+            else address // self._line_bytes
+        mask = self._set_mask
+        set_index = line & mask if mask is not None \
+            else line % self._num_sets
         return line in self._sets[set_index]
 
     def access(self, address: int,
@@ -65,22 +100,52 @@ class Cache:
         Returns ``(hit, dirty_victim_address)``.  The victim address is the
         byte address of an evicted dirty line, or ``None``.
         """
-        set_index, line = self._locate(address)
+        shift = self._line_shift
+        line = address >> shift if shift is not None \
+            else address // self._line_bytes
+        mask = self._set_mask
+        set_index = line & mask if mask is not None \
+            else line % self._num_sets
         ways = self._sets[set_index]
         if line in ways:
-            dirty = ways.pop(line)
-            ways[line] = dirty or is_write
+            ways.move_to_end(line)
+            if is_write and not ways[line]:
+                ways[line] = True
             self.hits += 1
             return True, None
         self.misses += 1
         victim = None
-        if len(ways) >= self.geometry.ways:
+        if len(ways) >= self._ways:
             victim_line, victim_dirty = ways.popitem(last=False)
             if victim_dirty:
-                victim = victim_line * self.geometry.line_bytes
+                victim = victim_line * self._line_bytes \
+                    if shift is None else victim_line << shift
                 self.writebacks += 1
         ways[line] = is_write
         return False, victim
+
+    def access_if_present(self, address: int, is_write: bool = False) -> bool:
+        """Hit-only access: update LRU/dirty state and return True on a
+        hit; leave the cache untouched (no fill, no miss count) otherwise.
+
+        Equivalent to ``probe(a) and access(a, w)`` in one lookup -- the
+        instruction-window core model's dispatch path uses it to test for
+        a hit without committing an MSHR.
+        """
+        shift = self._line_shift
+        line = address >> shift if shift is not None \
+            else address // self._line_bytes
+        mask = self._set_mask
+        set_index = line & mask if mask is not None \
+            else line % self._num_sets
+        ways = self._sets[set_index]
+        if line in ways:
+            ways.move_to_end(line)
+            if is_write and not ways[line]:
+                ways[line] = True
+            self.hits += 1
+            return True
+        return False
 
     def invalidate(self, address: int) -> bool:
         """Drop a line if present; returns whether it was resident."""

@@ -12,6 +12,11 @@ exactly the "stalls the core" behaviour of Section III-B1.
 Progress is measured in *work cycles retired*: the slowdown metrics of
 Section IV-D compare work retired alone vs. shared over the same wall-clock
 window.
+
+Hot-path notes: both classes pre-bind their own event callbacks once at
+construction (``self._run`` / ``self._wake`` re-bound per ``schedule``
+call would allocate a bound method per event) and pass requests to the
+engine as ``(callback, arg)`` pairs instead of closures.
 """
 
 from __future__ import annotations
@@ -19,10 +24,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, Iterator, Optional
 
-from ..core.limiter import SourceLimiter
+from ..core.limiter import NoLimiter, SourceLimiter
 from .cache import Cache
 from .engine import Engine
-from .request import MemoryRequest
+from .request import MemoryRequest, RequestIdAllocator, _default_request_ids
 from .stats import CoreStats
 
 
@@ -34,6 +39,10 @@ class ShaperPort:
     never release (zero-credit config), requests park until the limiter is
     reconfigured and :meth:`kick` is called.
     """
+
+    __slots__ = ("engine", "limiter", "send", "stats",
+                 "interarrival_bucket", "queue", "_wakeup_at", "_parked",
+                 "_wake_cb", "_unshaped")
 
     def __init__(self, engine: Engine, limiter: SourceLimiter,
                  send: Callable[[MemoryRequest], None],
@@ -47,6 +56,9 @@ class ShaperPort:
         self.queue: Deque[MemoryRequest] = deque()
         self._wakeup_at: Optional[int] = None
         self._parked = False
+        self._wake_cb = self._wake
+        #: exact pass-through limiter: _pump may skip its no-op calls
+        self._unshaped = type(limiter) is NoLimiter
 
     def submit(self, request: MemoryRequest) -> None:
         self.queue.append(request)
@@ -64,6 +76,7 @@ class ShaperPort:
     def set_limiter(self, limiter: SourceLimiter) -> None:
         """Swap the limiter (online tuner installing a new config)."""
         self.limiter = limiter
+        self._unshaped = type(limiter) is NoLimiter
         self.kick()
 
     def kick(self) -> None:
@@ -80,34 +93,52 @@ class ShaperPort:
         """Release every request whose time has come; sleep until the next."""
         if self._parked:
             return
-        now = self.engine.now
-        while self.queue:
-            release_at = self.limiter.earliest_issue(now)
+        engine = self.engine
+        limiter = self.limiter
+        queue = self.queue
+        stats = self.stats
+        now = engine.now
+        if self._unshaped:
+            # NoLimiter always answers earliest_issue(now) == now and its
+            # issue() is a no-op: drain without the two calls per request.
+            bucket = self.interarrival_bucket
+            send = self.send
+            while queue:
+                request = queue.popleft()
+                request.issue_cycle = now
+                stats.shaper_stall_cycles += now - request.l1_miss_cycle
+                last = stats.last_issue_cycle
+                if last >= 0:
+                    stats.interarrival.add((now - last) // bucket)
+                stats.last_issue_cycle = now
+                send(request)
+            return
+        while queue:
+            release_at = limiter.earliest_issue(now)
             if release_at is None:
-                if self.limiter.stall_forever():
+                if limiter.stall_forever():
                     # Genuinely blocked until reconfiguration + kick().
                     self._parked = True
                 else:
                     # Defensive: a live limiter found no slot within its
                     # search horizon; retry shortly rather than deadlock.
                     self._wakeup_at = now + 64
-                    self.engine.schedule(self._wakeup_at, self._wake)
+                    engine.schedule(self._wakeup_at, self._wake_cb)
                 return
             if release_at > now:
                 if self._wakeup_at is None or release_at < self._wakeup_at:
                     self._wakeup_at = release_at
-                    self.engine.schedule(release_at, self._wake)
+                    engine.schedule(release_at, self._wake_cb)
                 return
-            request = self.queue.popleft()
-            self.limiter.issue(now, request.req_id)
+            request = queue.popleft()
+            limiter.issue(now, request.req_id)
             request.issue_cycle = now
-            stall = now - request.l1_miss_cycle
-            self.stats.shaper_stall_cycles += stall
-            if self.stats.last_issue_cycle >= 0:
-                self.stats.record_interarrival(
-                    now - self.stats.last_issue_cycle,
-                    self.interarrival_bucket)
-            self.stats.last_issue_cycle = now
+            stats.shaper_stall_cycles += now - request.l1_miss_cycle
+            last = stats.last_issue_cycle
+            if last >= 0:
+                stats.interarrival.add(
+                    (now - last) // self.interarrival_bucket)
+            stats.last_issue_cycle = now
             self.send(request)
 
     def _wake(self) -> None:
@@ -119,11 +150,18 @@ class ShaperPort:
 class CoreModel:
     """One trace-replaying core with an L1 cache and MSHR-bounded MLP."""
 
+    __slots__ = ("core_id", "engine", "trace", "l1", "port", "stats",
+                 "mlp", "line_bytes", "throttle_multiplier", "_iter",
+                 "wraps", "outstanding", "_blocked", "_block_start",
+                 "_pending_work", "_running", "_run_cb", "_new_req_id",
+                 "_line_shift")
+
     def __init__(self, core_id: int, engine: Engine,
                  trace: Iterable, l1: Cache, port: ShaperPort,
                  stats: CoreStats, mlp: int = 8,
                  line_bytes: int = 64,
-                 throttle_multiplier: float = 1.0) -> None:
+                 throttle_multiplier: float = 1.0,
+                 req_ids: Optional[RequestIdAllocator] = None) -> None:
         if mlp < 1:
             raise ValueError("mlp must be >= 1")
         self.core_id = core_id
@@ -143,10 +181,14 @@ class CoreModel:
         self._block_start = 0
         self._pending_work: Optional[list] = None
         self._running = False
+        self._run_cb = self._run
+        self._new_req_id = req_ids or _default_request_ids
+        self._line_shift = line_bytes.bit_length() - 1 \
+            if line_bytes & (line_bytes - 1) == 0 else None
 
     def start(self) -> None:
         """Schedule the first activity; call once before ``engine.run``."""
-        self.engine.schedule(self.engine.now, self._run)
+        self.engine.schedule(self.engine.now, self._run_cb)
 
     # ------------------------------------------------------------------
 
@@ -163,29 +205,33 @@ class CoreModel:
         if self._blocked or self._running:
             return
         self._running = True
+        engine = self.engine
+        multiplier = self.throttle_multiplier
         # At most issue-width zero-work accesses retire per cycle; beyond
         # that the core re-schedules itself one cycle later so simulated
         # time always advances (an all-hit trace must not spin forever).
         inline_budget = 4
         try:
             while True:
-                if self._pending_work is None:
+                pending = self._pending_work
+                if pending is None:
                     event = self._next_event()
-                    work = int(event.work * self.throttle_multiplier)
-                    self._pending_work = [work, work, event.address,
-                                          event.is_write]
-                remaining, work, address, is_write = self._pending_work
+                    work = event.work if multiplier == 1.0 \
+                        else int(event.work * multiplier)
+                    pending = [work, work, event.address, event.is_write]
+                    self._pending_work = pending
+                remaining, work, address, is_write = pending
                 if remaining > 0:
-                    self._pending_work[0] = 0
-                    self.engine.schedule_in(remaining, self._run)
+                    pending[0] = 0
+                    engine.schedule(engine.now + remaining, self._run_cb)
                     return
                 if inline_budget <= 0:
-                    self.engine.schedule_in(1, self._run)
+                    engine.schedule(engine.now + 1, self._run_cb)
                     return
                 if not self._try_access(address, is_write, work):
                     # MSHRs full: block until a response frees one.
                     self._blocked = True
-                    self._block_start = self.engine.now
+                    self._block_start = engine.now
                     return
                 inline_budget -= 1
                 self._pending_work = None
@@ -195,35 +241,42 @@ class CoreModel:
     def _try_access(self, address: int, is_write: bool, work: int) -> bool:
         """Perform the L1 access; False when blocked on MSHRs."""
         now = self.engine.now
-        line = address // self.line_bytes
-        if line in self.outstanding:
+        stats = self.stats
+        shift = self._line_shift
+        line = address >> shift if shift is not None \
+            else address // self.line_bytes
+        outstanding = self.outstanding
+        if line in outstanding:
             # Coalesced secondary miss: the line is already in flight.
-            self.stats.accesses += 1
-            self._retire(work)
+            stats.accesses += 1
+            stats.retired += 1
+            stats.work_cycles += 1 + work
             return True
-        if (line not in self.outstanding
-                and not self.l1.probe(address)
-                and len(self.outstanding) >= self.mlp):
+        if len(outstanding) >= self.mlp and not self.l1.probe(address):
             return False
-        self.stats.accesses += 1
+        stats.accesses += 1
         hit, dirty_victim = self.l1.access(address, is_write)
         if hit:
-            self.stats.l1_hits += 1
-            self._retire(work)
+            stats.l1_hits += 1
+            stats.retired += 1
+            stats.work_cycles += 1 + work
             return True
-        self.stats.l1_misses += 1
-        self.outstanding[line] = True
+        stats.l1_misses += 1
+        outstanding[line] = True
         request = MemoryRequest(core_id=self.core_id, address=address,
-                                is_write=is_write, l1_miss_cycle=now)
+                                is_write=is_write, l1_miss_cycle=now,
+                                req_id=self._new_req_id())
         self.port.submit(request)
         if dirty_victim is not None:
             # Writeback travels the same path but needs no response.
             writeback = MemoryRequest(core_id=self.core_id,
                                       address=dirty_victim, is_write=True,
-                                      l1_miss_cycle=now)
+                                      l1_miss_cycle=now,
+                                      req_id=self._new_req_id())
             writeback.shaper_bin = -2  # marks fire-and-forget
             self.port.submit_bypass(writeback)
-        self._retire(work)
+        stats.retired += 1
+        stats.work_cycles += 1 + work
         return True
 
     def _retire(self, work: int) -> None:
@@ -236,10 +289,12 @@ class CoreModel:
     def on_response(self, request: MemoryRequest) -> None:
         """Data returned (LLC hit or DRAM completion)."""
         now = self.engine.now
-        line = request.address // self.line_bytes
+        shift = self._line_shift
+        line = request.address >> shift if shift is not None \
+            else request.address // self.line_bytes
         self.outstanding.pop(line, None)
         request.complete_cycle = now
-        self.stats.total_latency += request.total_latency
+        self.stats.total_latency += now - request.l1_miss_cycle
         self.stats.post_shaper_latency += now - request.issue_cycle
         if self._blocked:
             self._blocked = False

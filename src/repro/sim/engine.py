@@ -9,6 +9,22 @@ the number of cycles.
 Time is measured in integer CPU cycles (the paper's core runs at 2.4 GHz and
 all DRAM timing parameters are converted to CPU cycles up front, see
 :mod:`repro.dram.timing`).
+
+The event kernel is the hottest loop in the repository (every experiment,
+sweep and GA fitness evaluation bottoms out here), so it is written for
+CPython speed without giving up determinism:
+
+* events are ``(when, seq, callback, arg)`` tuples -- hot callers pass a
+  bound method plus its argument instead of allocating a per-event closure;
+* :meth:`run` hoists the heap, ``heappop`` and the no-arg sentinel into
+  locals and batches same-cycle event chains so the horizon comparison is
+  paid once per simulated cycle, not once per event;
+* the contract-checked and ``max_events``-counting variant lives on a
+  separate slow path so the common case (``run(until=...)``) stays lean.
+
+Every fast-path shortcut preserves the FIFO pop order of the seeded heap,
+so results are bit-identical to the straightforward loop (pinned by the
+golden-fingerprint tests).
 """
 
 from __future__ import annotations
@@ -19,12 +35,22 @@ from typing import Callable, List, Optional, Tuple
 
 from ..analysis import contracts
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: sentinel marking "call the callback with no argument"
+_NO_ARG = object()
+
 
 class Engine:
     """A minimal discrete-event scheduler keyed by integer cycle time.
 
     Events scheduled for the same cycle run in FIFO order of scheduling,
-    which keeps component interactions deterministic.
+    which keeps component interactions deterministic.  Scheduling a
+    ``(callback, arg)`` pair is equivalent to scheduling
+    ``lambda: callback(arg)`` but allocates nothing per event; FIFO order
+    depends only on the ``(when, seq)`` heap key, so both forms interleave
+    deterministically.
 
     With runtime contracts enabled (``REPRO_CONTRACTS=1``, see
     :mod:`repro.analysis.contracts`) the engine verifies its two core
@@ -34,15 +60,23 @@ class Engine:
     construction so the disabled case costs one attribute read per event.
     """
 
+    __slots__ = ("now", "_queue", "_counter", "_stopped", "_contracts",
+                 "events_executed")
+
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[int, int, Callable, object]] = []
         self._counter = itertools.count()
         self._stopped = False
         self._contracts = contracts.is_enabled()
+        #: cumulative number of events executed (perf accounting only;
+        #: never feeds back into simulated behaviour)
+        self.events_executed: int = 0
 
-    def schedule(self, when: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run at absolute cycle ``when``.
+    def schedule(self, when: int, callback: Callable,
+                 arg: object = _NO_ARG) -> None:
+        """Schedule ``callback`` (optionally ``callback(arg)``) at absolute
+        cycle ``when``.
 
         Scheduling in the past is clamped to the current cycle; this lets
         components compute "ready" times without worrying about underflow.
@@ -57,11 +91,12 @@ class Engine:
                 "Engine.schedule: callback %r is not callable", callback)
         if when < self.now:
             when = self.now
-        heapq.heappush(self._queue, (when, next(self._counter), callback))
+        _heappush(self._queue, (when, next(self._counter), callback, arg))
 
-    def schedule_in(self, delay: int, callback: Callable[[], None]) -> None:
+    def schedule_in(self, delay: int, callback: Callable,
+                    arg: object = _NO_ARG) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
-        self.schedule(self.now + delay, callback)
+        self.schedule(self.now + delay, callback, arg)
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -81,29 +116,84 @@ class Engine:
         with increasing horizons never execute an event twice.
         """
         self._stopped = False
+        if self._contracts or max_events is not None:
+            return self._run_checked(until, max_events)
+
+        # Fast path: locals for everything touched per event, and an inner
+        # loop that drains each cycle's whole event chain with one horizon
+        # check.  Pop order is exactly the heap's (when, seq) order, so
+        # this is observably identical to the one-event-at-a-time loop.
+        queue = self._queue
+        pop = _heappop
+        no_arg = _NO_ARG
+        executed = 0
+        if until is None:
+            while queue and not self._stopped:
+                when, _seq, callback, arg = pop(queue)
+                self.now = when
+                if arg is no_arg:
+                    callback()
+                else:
+                    callback(arg)
+                executed += 1
+                while queue and queue[0][0] == when and not self._stopped:
+                    _when, _seq, callback, arg = pop(queue)
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                    executed += 1
+        else:
+            while queue and not self._stopped:
+                when = queue[0][0]
+                if when >= until:
+                    break
+                self.now = when
+                while queue and queue[0][0] == when and not self._stopped:
+                    _when, _seq, callback, arg = pop(queue)
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                    executed += 1
+            if self.now < until:
+                self.now = until
+        self.events_executed += executed
+        return self.now
+
+    def _run_checked(self, until: Optional[int],
+                     max_events: Optional[int]) -> int:
+        """Reference event loop: contract checks and ``max_events``."""
         executed = 0
         last_seq = -1
-        while self._queue and not self._stopped:
-            when = self._queue[0][0]
-            if until is not None and when >= until:
+        checked = self._contracts
+        try:
+            while self._queue and not self._stopped:
+                when = self._queue[0][0]
+                if until is not None and when >= until:
+                    self.now = until
+                    return self.now
+                if max_events is not None and executed >= max_events:
+                    return self.now
+                when, seq, callback, arg = _heappop(self._queue)
+                if checked:
+                    contracts.check(
+                        when >= self.now,
+                        "time monotonicity violated: popped event at cycle %d "
+                        "behind current cycle %d", when, self.now)
+                    contracts.check(
+                        when > self.now or seq > last_seq,
+                        "heap-FIFO order violated at cycle %d: event seq %d "
+                        "popped after seq %d", when, seq, last_seq)
+                last_seq = seq
+                self.now = when
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
+                executed += 1
+            if until is not None and self.now < until:
                 self.now = until
-                return self.now
-            if max_events is not None and executed >= max_events:
-                return self.now
-            when, seq, callback = heapq.heappop(self._queue)
-            if self._contracts:
-                contracts.check(
-                    when >= self.now,
-                    "time monotonicity violated: popped event at cycle %d "
-                    "behind current cycle %d", when, self.now)
-                contracts.check(
-                    when > self.now or seq > last_seq,
-                    "heap-FIFO order violated at cycle %d: event seq %d "
-                    "popped after seq %d", when, seq, last_seq)
-            last_seq = seq
-            self.now = when
-            callback()
-            executed += 1
-        if until is not None and self.now < until:
-            self.now = until
-        return self.now
+            return self.now
+        finally:
+            self.events_executed += executed

@@ -6,27 +6,36 @@ controller.  Banks serialise accesses mapped to them, so a core hogging the
 LLC delays others even when everything hits: this is the "destructive
 effects at a shared LLC" that source-side shaping can counter (Section
 IV-D advantage 1).
+
+Completion callbacks are scheduled as ``(bound method, request)`` pairs
+(no per-event closures), with the bound methods created once here.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from .cache import Cache
 from .engine import Engine
-from .request import MemoryRequest
+from .request import MemoryRequest, RequestIdAllocator, _default_request_ids
 from .stats import SystemStats
 
 
 class SharedLLC:
     """Banked LLC between the shaper ports and the memory controller."""
 
+    __slots__ = ("engine", "cache", "forward_miss", "respond",
+                 "hit_latency", "banks", "bank_busy", "stats", "_bank_free",
+                 "hits", "misses", "_hit_cb", "_miss_cb", "_new_req_id",
+                 "_line_shift", "_bank_mask", "_line_bytes", "_stat_cores")
+
     def __init__(self, engine: Engine, cache: Cache,
                  forward_miss: Callable[[MemoryRequest], None],
                  respond: Callable[[MemoryRequest, bool], None],
                  hit_latency: int = 30, banks: int = 8,
                  bank_busy: int = 4,
-                 stats: SystemStats = None) -> None:
+                 stats: Optional[SystemStats] = None,
+                 req_ids: Optional[RequestIdAllocator] = None) -> None:
         self.engine = engine
         self.cache = cache
         self.forward_miss = forward_miss
@@ -38,39 +47,56 @@ class SharedLLC:
         self._bank_free: List[int] = [0] * banks
         self.hits = 0
         self.misses = 0
+        self._hit_cb = self._hit
+        self._miss_cb = self._miss
+        self._stat_cores = stats.cores if stats is not None else None
+        self._new_req_id = req_ids or _default_request_ids
+        line_bytes = cache.geometry.line_bytes
+        self._line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1 \
+            if line_bytes & (line_bytes - 1) == 0 else None
+        self._bank_mask = banks - 1 if banks & (banks - 1) == 0 else None
 
     def lookup(self, request: MemoryRequest) -> None:
         """Start an LLC access for ``request`` at the current cycle."""
-        now = self.engine.now
-        line = request.address // self.cache.geometry.line_bytes
-        bank = line % self.banks
-        start = max(now, self._bank_free[bank])
-        self._bank_free[bank] = start + self.bank_busy
+        engine = self.engine
+        now = engine.now
+        shift = self._line_shift
+        line = request.address >> shift if shift is not None \
+            else request.address // self._line_bytes
+        mask = self._bank_mask
+        bank = line & mask if mask is not None else line % self.banks
+        bank_free = self._bank_free
+        free_at = bank_free[bank]
+        start = now if now > free_at else free_at
+        bank_free[bank] = start + self.bank_busy
         hit, dirty_victim = self.cache.access(request.address,
                                               request.is_write)
         respond_at = start + self.hit_latency
         demand = request.shaper_bin != -2
+        cores = self._stat_cores
         if hit:
             self.hits += 1
-            if self.stats is not None and demand:
-                self.stats.cores[request.core_id].llc_hits += 1
-            self.engine.schedule(respond_at,
-                                 lambda: self.respond(request, True))
+            if cores is not None and demand:
+                cores[request.core_id].llc_hits += 1
+            engine.schedule(respond_at, self._hit_cb, request)
         else:
             self.misses += 1
-            if self.stats is not None and demand:
-                self.stats.cores[request.core_id].llc_misses += 1
-            self.engine.schedule(
-                respond_at, lambda: self._miss(request))
+            if cores is not None and demand:
+                cores[request.core_id].llc_misses += 1
+            engine.schedule(respond_at, self._miss_cb, request)
             if dirty_victim is not None:
                 writeback = MemoryRequest(core_id=request.core_id,
                                           address=dirty_victim,
                                           is_write=True,
-                                          l1_miss_cycle=now)
+                                          l1_miss_cycle=now,
+                                          req_id=self._new_req_id())
                 writeback.shaper_bin = -2
                 writeback.issue_cycle = now
-                self.engine.schedule(
-                    respond_at, lambda: self.forward_miss(writeback))
+                engine.schedule(respond_at, self.forward_miss, writeback)
+
+    def _hit(self, request: MemoryRequest) -> None:
+        self.respond(request, True)
 
     def _miss(self, request: MemoryRequest) -> None:
         self.respond(request, False)

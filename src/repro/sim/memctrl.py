@@ -37,11 +37,15 @@ def _inflight_within_banks(mc: "MemoryController") -> bool:
 class MemoryController:
     """Transaction queue feeding the DRAM device via a scheduler policy."""
 
+    __slots__ = ("engine", "dram", "scheduler", "complete", "queue_depth",
+                 "stats", "queue", "overflow", "_inflight", "_max_inflight",
+                 "_complete_cb", "_cores")
+
     def __init__(self, engine: Engine, dram: DramDevice,
                  scheduler: "MemorySchedulerProtocol",
                  complete: Callable[[MemoryRequest], None],
                  queue_depth: int = 32,
-                 stats: SystemStats = None) -> None:
+                 stats: Optional[SystemStats] = None) -> None:
         self.engine = engine
         self.dram = dram
         self.scheduler = scheduler
@@ -52,18 +56,23 @@ class MemoryController:
         self.overflow: Deque[MemoryRequest] = deque()
         self._inflight = 0
         self._max_inflight = dram.timing.total_banks
+        #: pre-bound completion callback (one allocation, not one/event);
+        #: contract-free when contracts are off at construction time
+        self._complete_cb = contracts.hot_bind(self._complete)
+        self._cores = stats.cores if stats is not None else None
 
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def enqueue(self, request: MemoryRequest) -> None:
         request.mc_arrival_cycle = self.engine.now
-        if len(self.queue) >= self.queue_depth:
+        queue = self.queue
+        if len(queue) >= self.queue_depth:
             self.overflow.append(request)
             if self.stats is not None:
                 self.stats.queue_backpressure_events += 1
         else:
-            self.queue.append(request)
+            queue.append(request)
         if self.stats is not None:
-            depth = len(self.queue) + len(self.overflow)
+            depth = len(queue) + len(self.overflow)
             if depth > self.stats.peak_queue_depth:
                 self.stats.peak_queue_depth = depth
         self._dispatch()
@@ -73,8 +82,10 @@ class MemoryController:
         return len(self.queue) + len(self.overflow) + self._inflight
 
     def _refill_window(self) -> None:
-        while self.overflow and len(self.queue) < self.queue_depth:
-            self.queue.append(self.overflow.popleft())
+        overflow = self.overflow
+        queue = self.queue
+        while overflow and len(queue) < self.queue_depth:
+            queue.append(overflow.popleft())
 
     def _dispatch(self) -> None:
         """Dispatch selected requests while bank-level slots are free.
@@ -84,23 +95,28 @@ class MemoryController:
         queue stays visible to the scheduler, so late decisions -- row-hit
         prioritisation, per-core ranking -- still apply.
         """
-        now = self.engine.now
-        while self.queue and self._inflight < self._max_inflight:
-            request = self.scheduler.select(self.queue, now, self)
+        engine = self.engine
+        now = engine.now
+        queue = self.queue
+        select = self.scheduler.select
+        service = self.dram.service
+        complete_cb = self._complete_cb
+        while queue and self._inflight < self._max_inflight:
+            request = select(queue, now, self)
             if request is None:
                 return
-            self.queue.remove(request)
+            queue.remove(request)
             self._refill_window()
             request.dram_start_cycle = now
-            done = self.dram.service(request.address, now, request.is_write)
+            done = service(request.address, now, request.is_write)
             self._inflight += 1
-            self.engine.schedule(done, lambda r=request: self._complete(r))
+            engine.schedule(done, complete_cb, request)
 
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def _complete(self, request: MemoryRequest) -> None:
         self._inflight -= 1
-        if self.stats is not None:
-            core = self.stats.cores[request.core_id]
+        if self._cores is not None:
+            core = self._cores[request.core_id]
             if request.shaper_bin == -2:
                 core.writebacks += 1
             else:

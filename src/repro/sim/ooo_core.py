@@ -30,7 +30,7 @@ from typing import Deque, Dict, Iterable, Iterator, Optional
 from .cache import Cache
 from .core_model import ShaperPort
 from .engine import Engine
-from .request import MemoryRequest
+from .request import MemoryRequest, RequestIdAllocator, _default_request_ids
 from .stats import CoreStats
 
 
@@ -55,11 +55,19 @@ class _WindowEntry:
 class WindowCoreModel:
     """Trace-driven core with an in-order-retire instruction window."""
 
+    __slots__ = ("core_id", "engine", "trace", "l1", "port", "stats",
+                 "window", "width", "mshrs", "line_bytes",
+                 "throttle_multiplier", "_iter", "wraps", "_rob",
+                 "outstanding", "_deferred", "_staged", "_stage_ready",
+                 "_last_entry", "_ticking", "_stall_started", "_tick_cb",
+                 "_new_req_id")
+
     def __init__(self, core_id: int, engine: Engine, trace: Iterable,
                  l1: Cache, port: ShaperPort, stats: CoreStats,
                  window: int = 128, width: int = 4, mshrs: int = 8,
                  line_bytes: int = 64,
-                 throttle_multiplier: float = 1.0) -> None:
+                 throttle_multiplier: float = 1.0,
+                 req_ids: Optional[RequestIdAllocator] = None) -> None:
         if window < 1 or width < 1 or mshrs < 1:
             raise ValueError("window, width and mshrs must be >= 1")
         self.core_id = core_id
@@ -87,11 +95,13 @@ class WindowCoreModel:
         self._last_entry: Optional[_WindowEntry] = None
         self._ticking = False
         self._stall_started: Optional[int] = None
+        self._tick_cb = self._tick
+        self._new_req_id = req_ids or _default_request_ids
 
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        self.engine.schedule(self.engine.now, self._tick)
+        self.engine.schedule(self.engine.now, self._tick_cb)
 
     @property
     def mlp(self) -> int:
@@ -124,10 +134,10 @@ class WindowCoreModel:
             # sleep out a compute gap; otherwise only a memory response
             # can unblock us (on_response re-arms the tick).
             if dispatched or (self._rob and self._rob[0].done):
-                self.engine.schedule(now + 1, self._tick)
+                self.engine.schedule(now + 1, self._tick_cb)
             elif len(self._rob) < self.window \
                     and self._stage_ready > now:
-                self.engine.schedule(self._stage_ready, self._tick)
+                self.engine.schedule(self._stage_ready, self._tick_cb)
         finally:
             self._ticking = False
 
@@ -176,8 +186,7 @@ class WindowCoreModel:
             entry.waiting_line = line
             self.outstanding[line].append(entry)
             return
-        if self.l1.probe(entry.address):
-            self.l1.access(entry.address, entry.is_write)
+        if self.l1.access_if_present(entry.address, entry.is_write):
             self.stats.l1_hits += 1
             entry.done = True
             return
@@ -198,12 +207,14 @@ class WindowCoreModel:
         request = MemoryRequest(core_id=self.core_id,
                                 address=entry.address,
                                 is_write=entry.is_write,
-                                l1_miss_cycle=now)
+                                l1_miss_cycle=now,
+                                req_id=self._new_req_id())
         self.port.submit(request)
         if dirty_victim is not None:
             writeback = MemoryRequest(core_id=self.core_id,
                                       address=dirty_victim, is_write=True,
-                                      l1_miss_cycle=now)
+                                      l1_miss_cycle=now,
+                                      req_id=self._new_req_id())
             writeback.shaper_bin = -2
             self.port.submit_bypass(writeback)
 
@@ -233,7 +244,7 @@ class WindowCoreModel:
         self.stats.total_latency += request.total_latency
         self.stats.post_shaper_latency += now - request.issue_cycle
         self._retry_deferred(now)
-        self.engine.schedule(now, self._tick)
+        self.engine.schedule(now, self._tick_cb)
 
     def _retry_deferred(self, now: int) -> None:
         pending = list(self._deferred)
@@ -245,9 +256,8 @@ class WindowCoreModel:
             if line in self.outstanding:
                 self.outstanding[line].append(entry)
                 continue
-            if self.l1.probe(entry.address):
+            if self.l1.access_if_present(entry.address, entry.is_write):
                 # A coalesced fill landed while deferred.
-                self.l1.access(entry.address, entry.is_write)
                 entry.done = True
                 entry.waiting_line = None
                 continue

@@ -6,10 +6,35 @@ import itertools
 from dataclasses import dataclass, field
 
 
-_request_ids = itertools.count()
+class RequestIdAllocator:
+    """Monotonic source of ``req_id`` values for one simulated system.
+
+    Request ids exist for two purposes: keying the MITTS shaper's pending
+    tables and breaking ties deterministically in memory schedulers that
+    order by ``(mc_arrival_cycle, req_id)``.  Both only need ids that are
+    unique and monotonic *within one system*.  A process-global counter
+    would hand the second :class:`~repro.sim.system.SimSystem` built in a
+    process a different id range than the first -- a latent determinism
+    hazard for anything comparing id values -- so each system owns an
+    allocator and every request it creates draws from it, making a
+    system's stats independent of whatever ran earlier in the process.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        self._count = itertools.count()
+
+    def __call__(self) -> int:
+        return next(self._count)
 
 
-@dataclass
+#: fallback allocator for requests constructed outside a ``SimSystem``
+#: (unit tests building components by hand); systems never use it.
+_default_request_ids = RequestIdAllocator()
+
+
+@dataclass(slots=True, eq=False)
 class MemoryRequest:
     """A single memory transaction as seen below the L1 cache.
 
@@ -17,6 +42,11 @@ class MemoryRequest:
     MITTS shaper, looked up in the shared LLC and -- on an LLC miss --
     serviced by the memory controller and DRAM.  Timestamps for each stage
     are recorded so latency statistics can be derived afterwards.
+
+    Requests compare by identity (``eq=False``): every request is unique
+    (ids are never reused), and identity comparison keeps hot membership
+    operations like the memory controller's ``queue.remove`` at pointer
+    speed instead of field-by-field tuple comparison.
     """
 
     core_id: int
@@ -34,7 +64,7 @@ class MemoryRequest:
     complete_cycle: int = 0
     #: MITTS bin a credit was deducted from (hybrid method 2 bookkeeping)
     shaper_bin: int = -1
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    req_id: int = field(default_factory=_default_request_ids)
 
     @property
     def total_latency(self) -> int:

@@ -4,17 +4,100 @@ Statistics are plain counters updated inline by the simulator components.
 ``CoreStats.snapshot()`` supports the online genetic algorithm, which needs
 per-epoch deltas of the same counters (request service rates, stall cycles)
 to estimate application slowdown the way MISE does.
+
+``SystemStats.snapshot()`` extends that to the whole system (all cores,
+both inter-arrival histograms, DRAM row stats) and
+``SystemStats.fingerprint()`` hashes it canonically -- the bit-identity
+oracle the event-kernel fast path is pinned against
+(``tests/test_golden_fingerprints.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 
-@dataclass
+class BucketHistogram(Mapping):
+    """Dense list-indexed histogram with a dict-like read interface.
+
+    Inter-arrival buckets are small non-negative integers (``gap // L``),
+    so a plain list indexed by bucket beats a hash table on the record
+    path -- one bounds check and an integer increment per sample instead
+    of hashing.  Reads present the familiar mapping view (only buckets
+    that were ever hit appear as keys), so existing consumers --
+    ``dict(hist)``, ``hist.values()``, equality against plain dicts --
+    keep working unchanged.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping = None) -> None:
+        self._counts: List[int] = []
+        if counts:
+            for bucket, count in sorted(counts.items()):
+                self._counts.extend(
+                    [0] * (bucket + 1 - len(self._counts)))
+                self._counts[bucket] = count
+
+    def add(self, bucket: int) -> None:
+        """Record one sample in ``bucket`` (a non-negative integer)."""
+        counts = self._counts
+        if bucket >= len(counts):
+            if bucket < 0:
+                raise ValueError(f"histogram bucket must be >= 0, "
+                                 f"got {bucket}")
+            counts.extend([0] * (bucket + 1 - len(counts)))
+        counts[bucket] += 1
+
+    # -- mapping interface over the non-empty buckets ------------------
+
+    def __getitem__(self, bucket: int) -> int:
+        counts = self._counts
+        if isinstance(bucket, int) and 0 <= bucket < len(counts):
+            count = counts[bucket]
+            if count:
+                return count
+        raise KeyError(bucket)
+
+    def __iter__(self) -> Iterator[int]:
+        return (bucket for bucket, count in enumerate(self._counts)
+                if count)
+
+    def __len__(self) -> int:
+        return sum(1 for count in self._counts if count)
+
+    def __bool__(self) -> bool:
+        return any(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BucketHistogram):
+            return dict(self) == dict(other)
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"BucketHistogram({dict(self)!r})"
+
+
+@dataclass(slots=True)
 class CoreStats:
-    """Counters for one core / one program in the simulated system."""
+    """Counters for one core / one program in the simulated system.
+
+    ``slots=True``: these counters are incremented on every simulated
+    access, so instances carry no per-object ``__dict__`` and attribute
+    access takes the fixed-offset path.
+    """
 
     core_id: int = 0
     #: memory accesses issued by the core (L1 lookups)
@@ -41,26 +124,24 @@ class CoreStats:
     #: number of trace events retired
     retired: int = 0
     #: inter-arrival histogram of issued (post-shaper) L1-miss requests
-    interarrival: Dict[int, int] = field(default_factory=dict)
+    interarrival: BucketHistogram = field(default_factory=BucketHistogram)
     #: cycle of the last issued (post-shaper) memory request
     last_issue_cycle: int = -1
     #: inter-arrival histogram of *memory* requests (LLC misses) -- the
     #: stream Figures 1 and 2 plot
-    mem_interarrival: Dict[int, int] = field(default_factory=dict)
+    mem_interarrival: BucketHistogram = field(
+        default_factory=BucketHistogram)
     #: cycle of the last LLC-miss (memory) request
     last_mem_request_cycle: int = -1
 
     def record_interarrival(self, gap: int, bucket_width: int = 10) -> None:
         """Accumulate ``gap`` cycles into the post-shaper histogram."""
-        bucket = gap // bucket_width
-        self.interarrival[bucket] = self.interarrival.get(bucket, 0) + 1
+        self.interarrival.add(gap // bucket_width)
 
     def record_mem_interarrival(self, gap: int,
                                 bucket_width: int = 10) -> None:
         """Accumulate ``gap`` cycles into the memory-request histogram."""
-        bucket = gap // bucket_width
-        self.mem_interarrival[bucket] = \
-            self.mem_interarrival.get(bucket, 0) + 1
+        self.mem_interarrival.add(gap // bucket_width)
 
     @property
     def average_latency(self) -> float:
@@ -98,7 +179,7 @@ class CoreStats:
         return {key: after[key] - before[key] for key in after}
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemStats:
     """System-wide statistics for one simulation run."""
 
@@ -134,3 +215,38 @@ class SystemStats:
         if self.cycles == 0:
             return 0.0
         return self.total_dram_requests * line_bytes / self.cycles
+
+    def snapshot(self) -> Dict:
+        """Full deterministic state of the run as plain JSON-able data.
+
+        Includes every per-core scalar counter, both inter-arrival
+        histograms (keys stringified for JSON stability), and the
+        system-wide DRAM/queue counters -- everything a simulation result
+        can legitimately depend on.
+        """
+        cores = []
+        for core in self.cores:
+            entry = dict(core.snapshot())
+            entry["core_id"] = core.core_id
+            entry["last_issue_cycle"] = core.last_issue_cycle
+            entry["last_mem_request_cycle"] = core.last_mem_request_cycle
+            entry["interarrival"] = {str(bucket): count for bucket, count
+                                     in core.interarrival.items()}
+            entry["mem_interarrival"] = {
+                str(bucket): count for bucket, count
+                in core.mem_interarrival.items()}
+            cores.append(entry)
+        return {
+            "cycles": self.cycles,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "peak_queue_depth": self.peak_queue_depth,
+            "queue_backpressure_events": self.queue_backpressure_events,
+            "cores": cores,
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form of :meth:`snapshot`."""
+        payload = json.dumps(self.snapshot(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence
 
+from ..analysis import contracts
 from ..core.limiter import NoLimiter, SourceLimiter
 from ..dram.device import DramDevice
 from ..dram.timing import DDR3_1333, DramTiming
@@ -27,7 +28,7 @@ from .core_model import CoreModel, ShaperPort
 from .engine import Engine
 from .llc import SharedLLC
 from .memctrl import MemoryController, MemorySchedulerProtocol
-from .request import MemoryRequest
+from .request import MemoryRequest, RequestIdAllocator
 from .stats import CoreStats, SystemStats
 
 
@@ -91,25 +92,36 @@ SCALED_LARGE_LLC_CONFIG = SystemConfig(l1_size=8 * 1024,
 
 
 class _FcfsFallback(MemorySchedulerProtocol):
-    """Oldest-first policy used when no scheduler is supplied."""
+    """Oldest-first policy used when no scheduler is supplied.
+
+    The controller appends arrivals in order and refills from its overflow
+    FIFO in order, so the scheduler-visible queue is always sorted by
+    ``mc_arrival_cycle``: the oldest request *is* the head.  ``queue[0]``
+    therefore selects exactly what ``min(queue, key=arrival)`` did (ties
+    resolved to the earliest-queued request), without an O(n) scan.
+    """
 
     def select(self, queue, now, controller):
         if not queue:
             return None
-        return min(queue, key=lambda r: r.mc_arrival_cycle)
+        return queue[0]
 
 
 class SimSystem:
     """A simulated multicore with per-core source limiters."""
 
-    def __init__(self, traces: Sequence, config: SystemConfig = None,
-                 limiters: Sequence[SourceLimiter] = None,
-                 scheduler: MemorySchedulerProtocol = None,
-                 mlps: Sequence[int] = None) -> None:
+    def __init__(self, traces: Sequence,
+                 config: Optional[SystemConfig] = None,
+                 limiters: Optional[Sequence[SourceLimiter]] = None,
+                 scheduler: Optional[MemorySchedulerProtocol] = None,
+                 mlps: Optional[Sequence[int]] = None) -> None:
         if not traces:
             raise ValueError("at least one trace is required")
         self.config = config or MULTI_PROGRAM_CONFIG
         self.engine = Engine()
+        #: per-system request-id source: ids always start at 0 for a new
+        #: system, so back-to-back systems in one process are bit-identical
+        self.request_ids = RequestIdAllocator()
         num_cores = len(traces)
         if limiters is None:
             limiters = [NoLimiter() for _ in range(num_cores)]
@@ -129,12 +141,14 @@ class SimSystem:
                                         self.config.llc_ways,
                                         self.config.line_bytes))
         self.llc = SharedLLC(self.engine, llc_cache,
-                             forward_miss=self.mc.enqueue,
+                             forward_miss=contracts.hot_bind(
+                                 self.mc.enqueue),
                              respond=self._on_llc_determination,
                              hit_latency=self.config.llc_hit_latency,
                              banks=self.config.llc_banks,
                              bank_busy=self.config.llc_bank_busy,
-                             stats=self.stats)
+                             stats=self.stats,
+                             req_ids=self.request_ids)
 
         self.noc = None
         if self.config.noc_enabled:
@@ -164,12 +178,14 @@ class SimSystem:
                     window=self.config.window_size,
                     width=self.config.issue_width,
                     mshrs=self.config.mshrs,
-                    line_bytes=self.config.line_bytes)
+                    line_bytes=self.config.line_bytes,
+                    req_ids=self.request_ids)
             elif self.config.core_model == "simple":
                 mlp = self._mlp_for(trace, core_id, mlps)
                 core = CoreModel(core_id, self.engine, trace, l1,
                                  port, self.stats.cores[core_id], mlp=mlp,
-                                 line_bytes=self.config.line_bytes)
+                                 line_bytes=self.config.line_bytes,
+                                 req_ids=self.request_ids)
             else:
                 raise ValueError(
                     f"unknown core model {self.config.core_model!r}")
@@ -199,7 +215,7 @@ class SimSystem:
             dst = bank_tile(self.noc, bank, self.config.llc_banks)
             arrive = self.noc.traverse(core_id % self.noc.tiles, dst,
                                        self.engine.now)
-            self.engine.schedule(arrive, lambda: self.llc.lookup(request))
+            self.engine.schedule(arrive, self.llc.lookup, request)
 
         return send
 
@@ -219,8 +235,7 @@ class SimSystem:
                 arrive = self.noc.traverse(
                     src, request.core_id % self.noc.tiles, self.engine.now)
                 self.engine.schedule(
-                    arrive,
-                    lambda: self.cores[request.core_id].on_response(request))
+                    arrive, self.cores[request.core_id].on_response, request)
             else:
                 self.cores[request.core_id].on_response(request)
         else:

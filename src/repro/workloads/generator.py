@@ -18,10 +18,19 @@ from __future__ import annotations
 
 import random
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 from .trace import TraceEvent
+
+#: Bounded memo of generated event streams keyed by ``(profile, seed)``.
+#: Synthesis is deterministic and :class:`~repro.workloads.trace.TraceEvent`
+#: is immutable, so replaying a cached tuple is indistinguishable from
+#: regenerating -- it just skips the per-event RNG work when the same trace
+#: drives several systems (slowdown baselines, benchmark repeats).
+_TRACE_MEMO: "OrderedDict[Tuple, Tuple[TraceEvent, ...]]" = OrderedDict()
+_TRACE_MEMO_MAX = 64
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,21 @@ class SyntheticTrace:
         return self.profile.total_events
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        key = (self.profile, self.seed)
+        try:
+            cached = _TRACE_MEMO.get(key)
+        except TypeError:
+            # Profiles holding an unhashable phase container (e.g. a list)
+            # simply skip the memo.
+            return self._generate()
+        if cached is None:
+            cached = tuple(self._generate())
+            _TRACE_MEMO[key] = cached
+            if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+                _TRACE_MEMO.popitem(last=False)
+        return iter(cached)
+
+    def _generate(self) -> Iterator[TraceEvent]:
         # zlib.crc32 is stable across processes (unlike builtin hash()).
         name_hash = zlib.crc32(self.profile.name.encode("utf-8"))
         rng = random.Random((self.seed << 16) ^ name_hash)

@@ -17,7 +17,7 @@ from repro.core.credits import CreditState
 from repro.dram.bank import Bank
 from repro.dram.device import DramDevice
 from repro.dram.timing import DDR3_1333
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, _NO_ARG
 from repro.sim.memctrl import MemoryController
 from repro.sim.request import MemoryRequest
 
@@ -114,7 +114,7 @@ class TestEngineContracts:
         engine.schedule(10, lambda: None)
         engine.run()
         # Corrupt the queue behind schedule()'s back: an event in the past.
-        heapq.heappush(engine._queue, (5, 999, lambda: None))
+        heapq.heappush(engine._queue, (5, 999, lambda: None, _NO_ARG))
         with pytest.raises(ContractViolation, match="monotonicity"):
             engine.run()
 
@@ -123,7 +123,8 @@ class TestEngineContracts:
         # Two same-cycle events with the same sequence number can only be
         # produced by a broken scheduler; the FIFO contract must object.
         # (Assigned directly: a real heappush would refuse the duplicate.)
-        engine._queue = [(5, 1, lambda: None), (5, 1, lambda: None)]
+        engine._queue = [(5, 1, lambda: None, _NO_ARG),
+                 (5, 1, lambda: None, _NO_ARG)]
         with pytest.raises(ContractViolation, match="FIFO"):
             engine.run()
 
