@@ -10,7 +10,7 @@ CACHE_DIR ?= .repro-cache
 RESULTS_DIR ?= results
 
 .PHONY: all lint test test-contracts baseline rules bench bench-quick \
-	bench-figures sweep
+	bench-figures sweep chaos
 
 all: lint test
 
@@ -47,6 +47,10 @@ bench-quick:
 ## paper-figure microbenchmarks (pytest-benchmark; the old `make bench`)
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## seeded fault-injection suite + checkpoint/resume selfcheck
+chaos:
+	$(PYTHON) -m repro.resilience --chaos --seed 7 --selfcheck
 
 ## run every experiment in parallel with the result cache on;
 ## interrupted sweeps pick up where they left off (same invocation)

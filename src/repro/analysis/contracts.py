@@ -27,7 +27,7 @@ from __future__ import annotations
 import functools
 import os
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Iterator, List
 
 
 class ContractViolation(AssertionError):
@@ -37,6 +37,51 @@ class ContractViolation(AssertionError):
     assertion failures as fatal do the right thing, while still being
     catchable specifically.
     """
+
+
+#: callables notified with each ContractViolation before it propagates
+#: (fault-injection harnesses proving a contract actually fired)
+_observers: List[Callable[[ContractViolation], None]] = []
+
+
+def add_observer(observer: Callable[[ContractViolation], None]) -> None:
+    """Register a callback invoked with every violation before it raises."""
+    _observers.append(observer)
+
+
+def remove_observer(observer: Callable[[ContractViolation], None]) -> None:
+    """Unregister a callback; missing observers are ignored."""
+    try:
+        _observers.remove(observer)
+    except ValueError:
+        return
+
+
+@contextmanager
+def observing(observer: Callable[[ContractViolation], None]) -> Iterator[None]:
+    """Scope an observer registration (always unregisters on exit)."""
+    add_observer(observer)
+    try:
+        yield
+    finally:
+        remove_observer(observer)
+
+
+def _violate(message: str) -> None:
+    """Build, announce, and raise a :class:`ContractViolation`.
+
+    Observers run *before* the raise so a harness can capture the
+    violation even when an outer layer swallows the exception; an
+    observer that itself raises does not mask the violation.
+    """
+    error = ContractViolation(message)
+    for observer in list(_observers):
+        try:
+            observer(error)
+        except Exception:
+            # A broken observer must not mask the real violation.
+            continue
+    raise error
 
 
 def _env_enabled() -> bool:
@@ -84,7 +129,7 @@ def check(condition: bool, message: str, *args: object) -> None:
     it when contracts are off.
     """
     if _enabled and not condition:
-        raise ContractViolation(message % args if args else message)
+        _violate(message % args if args else message)
 
 
 def hot_bind(bound_method: Callable) -> Callable:
@@ -133,14 +178,14 @@ def invariant(*predicates: Callable[[object], bool],
             if check_pre:
                 for predicate in predicates:
                     if not predicate(self):
-                        raise ContractViolation(
+                        _violate(
                             f"{type(self).__name__}.{method.__name__} "
                             f"precondition violated: {describe(predicate)}")
             result = method(self, *args, **kwargs)
             if check_post:
                 for predicate in predicates:
                     if not predicate(self):
-                        raise ContractViolation(
+                        _violate(
                             f"{type(self).__name__}.{method.__name__} "
                             f"postcondition violated: {describe(predicate)}")
             return result

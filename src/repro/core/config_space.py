@@ -20,6 +20,56 @@ from typing import Iterator, List, Sequence
 from .bins import BinConfig, BinSpec
 
 
+def validate_credit_vector(credits: Sequence[int], spec: BinSpec) -> None:
+    """Reject credit vectors that cannot drive a live shaper.
+
+    Raises :class:`ValueError` naming the offending bins so a bad config
+    fails loudly at construction time instead of surfacing minutes later
+    as a silent stall (all-zero credits) or dead weight (credits in bins
+    the geometry cannot reach).  Checks, in order:
+
+    * vector length matches the ``spec.num_bins`` geometry -- extra
+      entries would be *unreachable* bins (no inter-arrival time maps to
+      them), missing entries leave bins unconfigured;
+    * no bin holds a negative or over-``max_credits`` count;
+    * at least one bin holds a credit -- a zero-credit shaper stalls its
+      core forever (``stall_forever``), which is a configuration error,
+      not a simulation result.
+    """
+    vector = list(credits)
+    if len(vector) != spec.num_bins:
+        if len(vector) > spec.num_bins:
+            extra = list(range(spec.num_bins, len(vector)))
+            raise ValueError(
+                f"credit vector has {len(vector)} entries but the geometry "
+                f"has {spec.num_bins} bins: bin(s) {extra} are unreachable "
+                f"(no inter-arrival time maps beyond bin "
+                f"{spec.num_bins - 1})")
+        missing = list(range(len(vector), spec.num_bins))
+        raise ValueError(
+            f"credit vector has {len(vector)} entries but the geometry "
+            f"has {spec.num_bins} bins: bin(s) {missing} are unconfigured")
+    negative = [index for index, count in enumerate(vector) if count < 0]
+    if negative:
+        raise ValueError(f"bin(s) {negative} hold negative credits")
+    over = [index for index, count in enumerate(vector)
+            if count > spec.max_credits]
+    if over:
+        raise ValueError(
+            f"bin(s) {over} exceed the {spec.max_credits}-credit "
+            f"register limit")
+    if not any(vector):
+        raise ValueError(
+            f"all bins 0..{spec.num_bins - 1} hold zero credits: a "
+            f"zero-credit shaper stalls its core forever")
+
+
+def validate_bin_config(config: BinConfig) -> BinConfig:
+    """Validate and pass through a :class:`BinConfig` (fluent use)."""
+    validate_credit_vector(config.credits, config.spec)
+    return config
+
+
 def interval_for_bandwidth(bandwidth_bytes_per_sec: float,
                            clock_hz: float = 2.4e9,
                            line_bytes: int = 64) -> float:

@@ -104,6 +104,11 @@ class CreditState:
         if self.counts[bin_index] < limit:
             self.counts[bin_index] += 1
 
+    def snapshot(self) -> List[int]:
+        """Copy of the live counters (starvation diagnostics; a copy so
+        diagnostic consumers can never alias the hardware registers)."""
+        return list(self.counts)
+
     def next_available_bin_at_or_above(self, bin_index: int) -> Optional[int]:
         """Smallest bin index >= ``bin_index`` holding credits.
 

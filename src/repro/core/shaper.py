@@ -209,4 +209,25 @@ class MittsShaper(SourceLimiter):
 
     def credit_counts(self):
         """Copy of the live per-bin counters."""
-        return list(self.state.counts)
+        return self.state.snapshot()
+
+    def diagnostics(self) -> dict:
+        """Plain-data state snapshot for starvation diagnostics.
+
+        Consumed by the forward-progress watchdog when it raises
+        :class:`~repro.resilience.watchdog.StarvationError`: enough to
+        explain a stall (which bins are empty, what was bought, how many
+        requests are parked) without re-running the simulation.
+        """
+        return {
+            "method": self.method,
+            "credits": self.state.snapshot(),
+            "limits": list(self.config.credits),
+            "total_credits": self.config.total_credits,
+            "stall_forever": self.stall_forever(),
+            "pending_entries": self.pending_entries,
+            "released": self.released,
+            "stalled_requests": self.stalled_requests,
+            "total_stall_cycles": self.total_stall_cycles,
+            "refunds": self.refunds,
+        }

@@ -72,7 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-experiment wall-clock budget in seconds")
     sweep.add_argument("--retries", type=int, default=2,
                        help="retry attempts for failed/timed-out/crashed "
-                            "jobs (default: 2)")
+                            "jobs (default: 2; deterministic failures "
+                            "are never retried)")
+    sweep.add_argument("--checkpoint-dir", default=None,
+                       help="directory for mid-run simulation checkpoints; "
+                            "retried jobs resume partial work from here")
     sweep.add_argument("--no-progress", action="store_true",
                        help="suppress progress/ETA lines on stderr")
     diff = parser.add_argument_group("regression diffing")
@@ -129,6 +133,46 @@ def _number(value) -> str:
 # sweep driver
 
 
+def _write_failure_manifest(save_dir, specs, sweep) -> str:
+    """Persist ``failures.json`` describing every failed job.
+
+    Written next to the saved results (or the working directory) so an
+    orchestrating script can machine-read *which* jobs failed and *why*
+    instead of scraping stdout.  A fully green sweep removes any stale
+    manifest from a previous run.  Returns the path written, or ``""``.
+    """
+    import json
+    import os
+
+    directory = save_dir or "."
+    path = os.path.join(directory, "failures.json")
+    failed = [spec for spec in specs if not sweep[spec.job_id].ok]
+    if not failed:
+        try:
+            os.unlink(path)
+        except OSError:
+            # No stale manifest to clear.
+            return ""
+        return ""
+    manifest = {
+        "total": len(specs),
+        "failed": len(failed),
+        "failures": [
+            {"job_id": spec.job_id,
+             "spec_hash": spec.spec_hash(),
+             "kind": sweep[spec.job_id].failure.kind,
+             "error_type": sweep[spec.job_id].failure.error_type,
+             "message": sweep[spec.job_id].failure.message,
+             "attempts": sweep[spec.job_id].failure.attempts}
+            for spec in failed],
+    }
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -156,7 +200,8 @@ def main(argv=None) -> int:
     cache = ResultCache(cache_dir) if cache_dir else None
     runner = Runner(RunnerConfig(jobs=args.jobs, timeout=args.timeout,
                                  retries=args.retries,
-                                 progress=not args.no_progress),
+                                 progress=not args.no_progress,
+                                 checkpoint_dir=args.checkpoint_dir),
                     cache=cache)
     call_kwargs = tuple(sorted({"scale": args.scale,
                                 "seed": args.seed}.items()))
@@ -200,9 +245,12 @@ def main(argv=None) -> int:
     if cache is not None:
         print(f"cache hits: {sweep.cache_hits}/{len(names)}")
     failures = sweep.failures
+    manifest_path = _write_failure_manifest(args.save_dir, specs, sweep)
     if failures:
         print(f"{len(failures)} experiment(s) failed: "
               f"{[failure.job_id for failure in failures]}")
+        if manifest_path:
+            print(f"failure manifest written to {manifest_path}")
         return 1
     if args.require_cached and sweep.cache_hits < len(names):
         print(f"--require-cached: only {sweep.cache_hits}/{len(names)} "

@@ -1,0 +1,330 @@
+"""Seeded fault-injection harness: prove the recovery paths actually fire.
+
+Robustness code that is never exercised is decoration.  This module
+deterministically injects one fault per failure class the resilience
+stack claims to handle and asserts the corresponding detection/recovery
+mechanism engages:
+
+==================  =====================================================
+fault class         recovery path proven
+==================  =====================================================
+``worker-kill``     ``os._exit`` mid-job breaks the process pool; the
+                    runner charges the in-flight attempt, rebuilds the
+                    pool, retries, and the sweep still succeeds
+``cache-corrupt``   a flipped byte in a stored cache entry fails the
+                    integrity digest; the entry is discarded and the
+                    value recomputed, never trusted
+``event-bomb``      an exception thrown at a chosen simulated cycle kills
+                    the run after a periodic checkpoint; resuming from
+                    the checkpoint reproduces the undisturbed run
+                    fingerprint-for-fingerprint
+``clock-skew``      scheduling into the past clamps to ``now`` (never
+                    time-travels); a float cycle is rejected by the
+                    runtime contracts
+``duplicate-event`` the same callback scheduled twice at one cycle runs
+                    exactly twice, in FIFO order, identically across runs
+``starvation``      a zero-credit shaper raises ``StarvationError``
+                    within the watchdog window instead of hanging
+==================  =====================================================
+
+Every fault parameter (kill target, corrupted byte, bomb cycle) is drawn
+from a ``random.Random(seed)``, so a failing chaos run reproduces exactly
+from its seed.  Shipped as a pytest suite (``tests/test_resilience_chaos``)
+and a CLI (``python -m repro.resilience --chaos``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..analysis import contracts
+from ..core.bins import BinConfig
+from ..core.shaper import MittsShaper
+from ..runner import JobSpec, ResultCache, Runner, RunnerConfig
+from ..sim.engine import Engine
+from ..sim.system import SCALED_MULTI_CONFIG, SimSystem
+from ..workloads.mixes import workload_traces
+from .checkpoint import read_checkpoint_meta, run_with_checkpoints
+from .watchdog import StarvationError, WatchdogConfig
+
+
+class ChaosFault(RuntimeError):
+    """The injected failure itself (thrown by the event bomb)."""
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Result of one injected fault: did its recovery path engage?"""
+
+    fault: str
+    passed: bool
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# module-level job functions (workers import these by path)
+
+
+def chaos_echo(value):
+    """Trivial well-behaved job (control group for pool recovery)."""
+    return value
+
+
+def chaos_exit_once(marker_path, value):
+    """Kill the worker outright on the first attempt, succeed after.
+
+    ``os._exit`` bypasses all exception handling -- the pool itself
+    breaks, which is exactly the fault the runner's rebuild path covers.
+    """
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write("killed")
+        os._exit(23)
+    return value
+
+
+# ----------------------------------------------------------------------
+# simulated-system helpers
+
+
+def _make_system() -> SimSystem:
+    """Small deterministic multicore mix (cheap enough to run repeatedly)."""
+    return SimSystem(workload_traces(1, seed=11),
+                     config=SCALED_MULTI_CONFIG)
+
+
+class _EventBomb:
+    """Callback that raises :class:`ChaosFault` the first time it runs.
+
+    The "first time" latch is a filesystem marker, so the bomb is inert
+    on the resumed run (its event is restored from the checkpoint's heap
+    and fires again) -- modelling a transient mid-run fault.  Whether
+    armed or spent, the callback never touches simulator state, so the
+    disturbed-then-resumed run is statistically identical to an
+    undisturbed one.
+    """
+
+    __slots__ = ("marker_path",)
+
+    def __init__(self, marker_path: str) -> None:
+        self.marker_path = marker_path
+
+    def __call__(self) -> None:
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w", encoding="utf-8") as handle:
+                handle.write("detonated")
+            raise ChaosFault(f"event bomb detonated "
+                             f"(marker {self.marker_path!r})")
+
+
+class _CycleRecorder:
+    """Appends the engine's cycle at each invocation (ordering probes)."""
+
+    __slots__ = ("engine", "fired_at")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.fired_at: List[int] = []
+
+    def __call__(self) -> None:
+        self.fired_at.append(self.engine.now)
+
+
+# ----------------------------------------------------------------------
+# the fault classes
+
+
+def fault_worker_kill(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """Kill one pool worker mid-job; the sweep must still complete."""
+    marker = os.path.join(workdir, "kill-marker")
+    victim = rng.randrange(3)
+    specs = []
+    for index in range(3):
+        if index == victim:
+            specs.append(JobSpec.create(
+                f"kill[{index}]", "repro.resilience.chaos:chaos_exit_once",
+                marker, index * 10))
+        else:
+            specs.append(JobSpec.create(
+                f"kill[{index}]", "repro.resilience.chaos:chaos_echo",
+                index * 10))
+    with Runner(RunnerConfig(jobs=2, retries=2, backoff=0.01)) as runner:
+        sweep = runner.run(specs)
+    values = [sweep[spec.job_id].value for spec in specs]
+    attempts = sweep[f"kill[{victim}]"].attempts
+    ok = values == [0, 10, 20] and attempts >= 2
+    return ChaosOutcome(
+        "worker-kill", ok,
+        f"victim=kill[{victim}] attempts={attempts} values={values}")
+
+
+def fault_cache_corruption(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """Flip one byte of a stored cache entry; it must be discarded."""
+    cache = ResultCache(os.path.join(workdir, "cache"),
+                        fingerprint="chaos-fixed")
+    spec = JobSpec.create("corrupt", "repro.resilience.chaos:chaos_echo",
+                          1234, seed=rng.randrange(1 << 16))
+    cache.store(spec, 1234)
+    path = cache.entry_path(spec)
+    raw = bytearray(path.read_bytes())
+    offset = rng.randrange(len(raw))
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+    hit = cache.load(spec)
+    discarded = hit is None and cache.stats.corrupt == 1
+    cache.store(spec, 1234)
+    recovered = cache.load(spec)
+    ok = discarded and recovered is not None and recovered.value == 1234
+    return ChaosOutcome(
+        "cache-corrupt", ok,
+        f"flipped byte {offset}/{len(raw)}; discarded={discarded}, "
+        f"recomputed value={getattr(recovered, 'value', None)}")
+
+
+def fault_event_bomb(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """Crash mid-run after a checkpoint; resume must match undisturbed."""
+    cycles, interval = 60_000, 20_000
+    bomb_cycle = rng.randrange(45_000, 55_000)
+    marker = os.path.join(workdir, "bomb-marker")
+    checkpoint = os.path.join(workdir, "bomb.ckpt")
+
+    def make_armed() -> SimSystem:
+        system = _make_system()
+        system.engine.schedule(bomb_cycle, _EventBomb(marker))
+        return system
+
+    # Reference: same bomb event, pre-spent marker, uninterrupted run.
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write("pre-spent")
+    reference = make_armed()
+    reference.run(cycles)
+    expected = reference.stats.fingerprint()
+    os.unlink(marker)
+
+    detonated = False
+    try:
+        run_with_checkpoints(make_armed, cycles, path=checkpoint,
+                             interval=interval)
+    except ChaosFault:
+        detonated = True
+    if not detonated:
+        return ChaosOutcome("event-bomb", False,
+                            f"bomb at {bomb_cycle} never detonated")
+    resumed_from = read_checkpoint_meta(checkpoint)["cycle"]
+    system = run_with_checkpoints(make_armed, cycles, path=checkpoint,
+                                  interval=interval)
+    ok = (system.stats.fingerprint() == expected
+          and 0 < resumed_from < bomb_cycle)
+    return ChaosOutcome(
+        "event-bomb", ok,
+        f"bomb at {bomb_cycle}, resumed from checkpointed cycle "
+        f"{resumed_from}, fingerprint match={ok}")
+
+
+def fault_clock_skew(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """Past and float scheduling attempts must be clamped / rejected."""
+    engine = Engine()
+    recorder = _CycleRecorder(engine)
+    target = rng.randrange(2_000, 5_000)
+    engine.schedule(target, recorder)
+    engine.run(until=target + 1)
+    # Attempt to schedule an event in the past: must clamp to now.
+    engine.schedule(target - rng.randrange(1, target), recorder)
+    engine.run(until=target + 10)
+    clamped = recorder.fired_at == [target, target + 1]
+
+    violations: List[str] = []
+    with contracts.enabled_scope():
+        checked = Engine()
+        with contracts.observing(lambda error: violations.append(str(error))):
+            try:
+                # Deliberate contract violation -- the fault under test.
+                checked.schedule(float(target),  # simlint: disable=SIM003
+                                 recorder)
+                rejected = False
+            except contracts.ContractViolation:
+                rejected = True
+    ok = clamped and rejected and len(violations) == 1
+    return ChaosOutcome(
+        "clock-skew", ok,
+        f"past event clamped={clamped} (fired at {recorder.fired_at}); "
+        f"float cycle rejected={rejected}, observed={len(violations)}")
+
+
+def fault_duplicate_events(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """Duplicate same-cycle events run exactly twice, FIFO, repeatably."""
+    when = rng.randrange(100, 1_000)
+
+    def burst() -> List[int]:
+        engine = Engine()
+        recorder = _CycleRecorder(engine)
+        engine.schedule(when, recorder)
+        engine.schedule(when, recorder)  # the duplicate attempt
+        engine.run(until=when + 1)
+        return recorder.fired_at
+
+    first, second = burst(), burst()
+    ok = first == second == [when, when]
+    return ChaosOutcome(
+        "duplicate-event", ok,
+        f"fired at {first} vs {second} (want [{when}, {when}] twice)")
+
+
+def fault_starvation(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """A zero-credit shaper must raise within the watchdog window."""
+    traces = workload_traces(1, seed=11)
+    limiters = [MittsShaper(BinConfig.from_credits([0] * 10))
+                for _ in traces]
+    system = SimSystem(traces, config=SCALED_MULTI_CONFIG,
+                       limiters=limiters)
+    config = WatchdogConfig(check_period=1_000, stall_threshold=8_000)
+    system.attach_watchdog(config)
+    try:
+        system.run(60_000)
+    except StarvationError as exc:
+        cycle = exc.diagnostics["cycle"]
+        window = config.stall_threshold + 2 * config.check_period
+        shapers = [core["shaper"]["stall_forever"]
+                   for core in exc.diagnostics["cores"]]
+        ok = cycle <= window and all(shapers)
+        return ChaosOutcome(
+            "starvation", ok,
+            f"raised at cycle {cycle} (window {window}); "
+            f"stall_forever={shapers}")
+    return ChaosOutcome("starvation", False,
+                        "zero-credit run completed without StarvationError")
+
+
+FAULTS: List[Callable[[random.Random, str], ChaosOutcome]] = [
+    fault_worker_kill,
+    fault_cache_corruption,
+    fault_event_bomb,
+    fault_clock_skew,
+    fault_duplicate_events,
+    fault_starvation,
+]
+
+
+def run_chaos_suite(seed: int, workdir: str) -> List[ChaosOutcome]:
+    """Run every fault class with parameters drawn from ``seed``.
+
+    A fault function that *itself* crashes (as opposed to detecting a
+    missed recovery) is reported as a failed outcome, not an aborted
+    suite -- the harness must be more robust than the code it attacks.
+    """
+    outcomes: List[ChaosOutcome] = []
+    for fault in FAULTS:
+        rng = random.Random((seed, fault.__name__).__repr__())
+        fault_dir = os.path.join(workdir, fault.__name__)
+        os.makedirs(fault_dir, exist_ok=True)
+        try:
+            outcomes.append(fault(rng, fault_dir))
+        except Exception as exc:
+            outcomes.append(ChaosOutcome(
+                fault.__name__.replace("fault_", "").replace("_", "-"),
+                False, f"harness error: {type(exc).__name__}: {exc}"))
+    return outcomes

@@ -1,0 +1,200 @@
+"""Forward-progress watchdog: detect starvation instead of hanging.
+
+MITTS shaping is starvation-prone by construction: a bin configuration
+whose credits never cover a core's inter-arrival profile stalls that core
+until replenishment, and a degenerate (zero-credit) configuration stalls
+it forever.  Before this module, such a configuration surfaced only as a
+wall-clock timeout that threw the whole simulation away.  The watchdog
+turns the hang into a *structured, deterministic* failure: a cheap
+in-engine monitor that checks per-core retire progress and
+memory-controller dequeue progress every ``check_period`` cycles and
+raises :class:`StarvationError` -- carrying a full diagnostic snapshot --
+once a core with pending memory work has made no progress for
+``stall_threshold`` cycles.
+
+The watchdog is an *observer*: its periodic events read simulator state
+and never mutate it, so attaching one cannot change simulation results
+(extra events only consume sequence numbers; the relative order of all
+other events is preserved).  This is pinned against the golden
+fingerprints by ``tests/test_resilience_watchdog.py``.
+
+Because the check runs in simulated time, the verdict is deterministic:
+the same configuration starves at the same cycle on every run, which is
+why the runner treats :class:`StarvationError` as non-retryable (see
+``repro.runner.engine``) and the GA scores it as a penalized fitness
+instead of re-simulating (``repro.tuning.objectives``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class StarvationError(RuntimeError):
+    """A simulated core (or the memory controller) stopped making progress.
+
+    ``diagnostics`` is a plain-data snapshot taken at detection time:
+    per-core stall ages, shaper bin/credit state, and the memory
+    controller's queue -- everything needed to explain *why* the
+    configuration starved without re-running the simulation.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics if diagnostics is not None else {}
+
+    def __reduce__(self):
+        # Keep the diagnostics attached across pickling (process pools).
+        return (type(self), (self.args[0], self.diagnostics))
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Forward-progress thresholds, in simulated cycles.
+
+    ``stall_threshold`` must comfortably exceed the longest *legitimate*
+    stall: a populated bin configuration always progresses within one
+    replenishment period (aging makes any populated bin reachable), and
+    periods under the paper's 10x10-cycle geometry are a few thousand
+    cycles at most.  The default leaves an order of magnitude of slack.
+    """
+
+    #: how often the watchdog samples progress counters
+    check_period: int = 5_000
+    #: cycles without progress (while work is pending) that count as starved
+    stall_threshold: int = 40_000
+
+    def __post_init__(self) -> None:
+        if self.check_period < 1:
+            raise ValueError("check_period must be >= 1")
+        if self.stall_threshold < self.check_period:
+            raise ValueError("stall_threshold must be >= check_period")
+
+
+class ForwardProgressWatchdog:
+    """Periodic in-engine monitor of retire and MC-dequeue progress.
+
+    Attach via :meth:`repro.sim.system.SimSystem.attach_watchdog`.  The
+    watchdog travels with the system through checkpoints (it is part of
+    the pickled object graph and its pending check event sits in the
+    event heap), so a resumed run keeps the same protection.
+    """
+
+    __slots__ = ("system", "config", "_active", "_last_retired",
+                 "_stall_since", "_last_dispatched", "_mc_stall_since")
+
+    def __init__(self, system, config: Optional[WatchdogConfig] = None):
+        self.system = system
+        self.config = config if config is not None else WatchdogConfig()
+        self._active = False
+        self._last_retired: List[int] = []
+        self._stall_since: List[int] = []
+        self._last_dispatched = 0
+        self._mc_stall_since = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Baseline the progress counters and schedule the first check."""
+        engine = self.system.engine
+        now = engine.now
+        self._active = True
+        self._last_retired = list(self.system.stats.progress_vector())
+        self._stall_since = [now] * len(self._last_retired)
+        self._last_dispatched = self.system.mc.dispatched
+        self._mc_stall_since = now
+        engine.schedule_in(self.config.check_period, self._check)
+
+    def detach(self) -> None:
+        """Stop monitoring; the pending check becomes a no-op."""
+        self._active = False
+
+    # ------------------------------------------------------------------
+
+    def _check(self) -> None:
+        """One watchdog tick: read-only except for the watchdog's own
+        bookkeeping, so simulation results are unaffected."""
+        if not self._active:
+            return
+        system = self.system
+        engine = system.engine
+        now = engine.now
+        threshold = self.config.stall_threshold
+
+        starved_cores: List[int] = []
+        retired = system.stats.progress_vector()
+        for core_id, count in enumerate(retired):
+            if count != self._last_retired[core_id]:
+                self._last_retired[core_id] = count
+                self._stall_since[core_id] = now
+                continue
+            # No retires since the last sample: only suspicious while the
+            # core actually has memory work pending (a drained trace or a
+            # compute-heavy phase is legitimate quiet).
+            pending = (system.ports[core_id].occupancy > 0
+                       or len(system.cores[core_id].outstanding) > 0)
+            if pending and now - self._stall_since[core_id] >= threshold:
+                starved_cores.append(core_id)
+
+        mc = system.mc
+        mc_starved = False
+        if mc.dispatched != self._last_dispatched:
+            self._last_dispatched = mc.dispatched
+            self._mc_stall_since = now
+        elif (len(mc.queue) + len(mc.overflow) > 0
+              and now - self._mc_stall_since >= threshold):
+            mc_starved = True
+
+        if starved_cores or mc_starved:
+            raise StarvationError(self._message(starved_cores, mc_starved,
+                                                now),
+                                  diagnostics=self.snapshot())
+        engine.schedule_in(self.config.check_period, self._check)
+
+    def _message(self, starved_cores: List[int], mc_starved: bool,
+                 now: int) -> str:
+        parts = []
+        if starved_cores:
+            ages = [now - self._stall_since[core_id]
+                    for core_id in starved_cores]
+            parts.append(f"core(s) {starved_cores} retired nothing for "
+                         f"{max(ages)} cycles with memory work pending")
+        if mc_starved:
+            parts.append(f"memory controller dispatched nothing for "
+                         f"{now - self._mc_stall_since} cycles with a "
+                         f"non-empty queue")
+        return (f"starvation detected at cycle {now}: "
+                + "; ".join(parts))
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data diagnostic snapshot of everything starvation-relevant."""
+        system = self.system
+        now = system.engine.now
+        cores = []
+        for core_id, stats in enumerate(system.stats.cores):
+            port = system.ports[core_id]
+            limiter = port.limiter
+            diagnostics = getattr(limiter, "diagnostics", None)
+            cores.append({
+                "core_id": core_id,
+                "retired": stats.retired,
+                "stall_age": now - self._stall_since[core_id],
+                "port_occupancy": port.occupancy,
+                "outstanding_misses": len(system.cores[core_id].outstanding),
+                "shaper": diagnostics() if diagnostics is not None else None,
+            })
+        mc = system.mc
+        return {
+            "cycle": now,
+            "cores": cores,
+            "mc": {
+                "queue_depth": len(mc.queue),
+                "overflow_depth": len(mc.overflow),
+                "inflight": mc._inflight,
+                "dispatched": mc.dispatched,
+                "stall_age": now - self._mc_stall_since,
+            },
+        }

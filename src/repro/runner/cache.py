@@ -68,6 +68,11 @@ class ResultCache:
     def _path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def entry_path(self, spec: JobSpec) -> Path:
+        """On-disk location of ``spec``'s entry (fault injection / tooling);
+        the file need not exist."""
+        return self._path_for(self.key_for(spec))
+
     # ------------------------------------------------------------------
 
     def load(self, spec: JobSpec) -> Optional[CacheHit]:

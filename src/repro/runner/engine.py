@@ -28,12 +28,16 @@ free and killed sweeps recoverable.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from collections import OrderedDict, deque
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..resilience.checkpoint import checkpoint_scope, discard_checkpoint
+from ..resilience.watchdog import StarvationError
 from . import wallclock
 from .cache import ResultCache
 from .jobspec import JobSpec, SpecError, callable_path
@@ -43,6 +47,20 @@ from .worker import (STATUS_OK, STATUS_TIMEOUT, describe_exception,
 
 #: how long one futures.wait() tick blocks before re-checking retry timers
 _WAIT_TICK_SECONDS = 0.1
+
+#: exception ancestries that make a failure *deterministic*: the same
+#: spec will fail the same way every time (a starved configuration, a
+#: validation error, a broken invariant), so retrying burns wall-clock
+#: for nothing.  Timeouts and worker crashes stay retryable -- those
+#: depend on machine state, not on the spec.  Matched against
+#: ``describe_exception``'s ``lineage`` (MRO class names), so
+#: subclasses like ``SpecError`` (ValueError) and ``ContractViolation``
+#: (AssertionError) are covered by ancestry.
+_DETERMINISTIC_LINEAGE = frozenset(
+    {"StarvationError", "ValueError", "AssertionError"})
+
+#: the same policy for in-process (inline) execution, as types
+_DETERMINISTIC_TYPES = (StarvationError, ValueError, AssertionError)
 
 
 class RunnerError(RuntimeError):
@@ -129,6 +147,11 @@ class RunnerConfig:
     #: base of the exponential retry backoff, in seconds
     backoff: float = 0.25
     progress: bool = False
+    #: directory for per-job checkpoints (None = checkpointing off);
+    #: jobs that run via repro.resilience.checkpoint.run_with_checkpoints
+    #: save partial work here and *resume* it when retried after a
+    #: worker death or timeout
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -241,20 +264,24 @@ class Runner:
         for item in pending:
             spec = item.spec
             retries = self._retries_for(spec)
+            checkpoint = self._checkpoint_path_for(spec)
             while True:
                 item.attempts += 1
                 started = wallclock.now()
                 try:
                     fn = spec.resolve()
-                    value = fn(*spec.args, **spec.call_kwargs())
+                    with checkpoint_scope(checkpoint):
+                        value = fn(*spec.args, **spec.call_kwargs())
                 except Exception as exc:
-                    if item.attempts <= retries:
+                    if (item.attempts <= retries
+                            and not isinstance(exc, _DETERMINISTIC_TYPES)):
                         wallclock.sleep(self._backoff_delay(item.attempts))
                         continue
                     self._record_failure(
                         outcomes[spec.job_id], "error",
                         describe_exception(exc), item.attempts, reporter)
                     break
+                discard_checkpoint(checkpoint)
                 self._record_success(outcomes[spec.job_id], value,
                                      item.attempts,
                                      wallclock.now() - started,
@@ -300,7 +327,8 @@ class Runner:
                 item = queue.popleft()
                 item.attempts += 1
                 payload = job_payload(item.spec,
-                                      self._timeout_for(item.spec))
+                                      self._timeout_for(item.spec),
+                                      self._checkpoint_path_for(item.spec))
                 future = executor.submit(execute_job, payload)
                 in_flight[future] = item
                 started_at[future] = wallclock.now()
@@ -391,11 +419,37 @@ class Runner:
     def _backoff_delay(self, attempts: int) -> float:
         return self.config.backoff * (2 ** (attempts - 1))
 
+    def _checkpoint_path_for(self, spec: JobSpec) -> Optional[str]:
+        """Stable per-job checkpoint path under ``config.checkpoint_dir``.
+
+        Keyed on (job id, spec hash) so retries of the same job resume
+        the same file while two jobs with identical specs never race on
+        one path.
+        """
+        if self.config.checkpoint_dir is None:
+            return None
+        key = hashlib.sha256(
+            f"{spec.job_id}\n{spec.spec_hash()}".encode("utf-8")).hexdigest()
+        return os.path.join(self.config.checkpoint_dir, f"{key}.ckpt")
+
+    @staticmethod
+    def _deterministic_failure(kind: str, info: dict) -> bool:
+        """Will this exact failure recur on every retry of the spec?"""
+        if kind != "error":
+            return False  # timeouts and crashes are machine-state luck
+        lineage = info.get("lineage")
+        if lineage is None:
+            # Pre-lineage producer (stale worker): fall back on the
+            # leaf class name alone.
+            lineage = [info.get("error_type", "")]
+        return not _DETERMINISTIC_LINEAGE.isdisjoint(lineage)
+
     def _handle_retryable(self, item: _Pending, kind: str, info: dict,
                           outcomes: Dict[str, JobOutcome],
                           waiting: List[_Pending],
                           reporter: ProgressReporter) -> None:
-        if item.attempts <= self._retries_for(item.spec):
+        if (item.attempts <= self._retries_for(item.spec)
+                and not self._deterministic_failure(kind, info)):
             item.ready_at = wallclock.now() \
                 + self._backoff_delay(item.attempts)
             waiting.append(item)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import traceback
 from typing import Any, Dict, Tuple
 
+from ..resilience.checkpoint import checkpoint_scope, discard_checkpoint
 from .jobspec import resolve_callable
 from .wallclock import JobTimeoutError, deadline
 
@@ -26,30 +27,47 @@ STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
 
 
-def job_payload(spec, timeout) -> Dict[str, Any]:
-    """The plain-data form of a spec that crosses into the worker."""
+def job_payload(spec, timeout, checkpoint=None) -> Dict[str, Any]:
+    """The plain-data form of a spec that crosses into the worker.
+
+    ``checkpoint`` is an optional path the job may save/resume partial
+    work through (see :mod:`repro.resilience.checkpoint`); retries of
+    the same job receive the same path, which is what makes a resumed
+    attempt continue instead of restart.
+    """
     return {"job_id": spec.job_id, "fn": spec.fn, "args": spec.args,
-            "kwargs": spec.kwargs, "timeout": timeout}
+            "kwargs": spec.kwargs, "timeout": timeout,
+            "checkpoint": checkpoint}
 
 
-def describe_exception(exc: BaseException) -> Dict[str, str]:
+def describe_exception(exc: BaseException) -> Dict[str, Any]:
     """A picklable description of a failure (the exception itself may
-    hold unpicklable simulator state, so only strings travel back)."""
+    hold unpicklable simulator state, so only strings travel back).
+
+    ``lineage`` carries the exception's class names along its MRO so the
+    engine can classify a failure as deterministic (never retry) without
+    unpickling the exception -- subclasses are matched by ancestry, not
+    by exact name.
+    """
     return {
         "error_type": type(exc).__name__,
         "message": str(exc),
         "traceback": "".join(traceback.format_exception(
             type(exc), exc, exc.__traceback__)),
+        "lineage": [cls.__name__ for cls in type(exc).__mro__],
     }
 
 
 def execute_job(payload: Dict[str, Any]) -> Tuple[str, str, Any]:
     """Run one job; always returns, never raises (see module docstring)."""
     job_id = payload["job_id"]
+    checkpoint = payload.get("checkpoint")
     try:
         fn = resolve_callable(payload["fn"])
         with deadline(payload.get("timeout"), what=f"job {job_id!r}"):
-            value = fn(*payload["args"], **dict(payload["kwargs"]))
+            with checkpoint_scope(checkpoint):
+                value = fn(*payload["args"], **dict(payload["kwargs"]))
+        discard_checkpoint(checkpoint)
         return (job_id, STATUS_OK, value)
     except JobTimeoutError as exc:
         return (job_id, STATUS_TIMEOUT, describe_exception(exc))

@@ -38,8 +38,36 @@ from ..analysis import contracts
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+
+class _NoArg:
+    """Singleton sentinel marking "call the callback with no argument".
+
+    The run loops compare event args against the sentinel *by identity*
+    (``arg is _NO_ARG``), so the sentinel must survive serialisation as
+    the same object: a checkpointed engine whose heap holds no-arg events
+    must, after unpickling, still recognise them.  A plain ``object()``
+    would deserialise to a fresh instance and the restored loop would
+    call ``callback(<junk>)``.  ``__new__``/``__reduce__`` pin the
+    module-level instance on both construction and unpickling.
+    """
+
+    __slots__ = ()
+    _instance: "_NoArg" = None
+
+    def __new__(cls) -> "_NoArg":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_NoArg, ())
+
+    def __repr__(self) -> str:
+        return "<no-arg>"
+
+
 #: sentinel marking "call the callback with no argument"
-_NO_ARG = object()
+_NO_ARG = _NoArg()
 
 
 class Engine:

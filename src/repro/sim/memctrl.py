@@ -39,7 +39,7 @@ class MemoryController:
 
     __slots__ = ("engine", "dram", "scheduler", "complete", "queue_depth",
                  "stats", "queue", "overflow", "_inflight", "_max_inflight",
-                 "_complete_cb", "_cores")
+                 "_complete_cb", "_cores", "dispatched")
 
     def __init__(self, engine: Engine, dram: DramDevice,
                  scheduler: "MemorySchedulerProtocol",
@@ -60,6 +60,9 @@ class MemoryController:
         #: contract-free when contracts are off at construction time
         self._complete_cb = contracts.hot_bind(self._complete)
         self._cores = stats.cores if stats is not None else None
+        #: cumulative requests handed to DRAM -- the forward-progress
+        #: watchdog's dequeue probe; never feeds back into behaviour
+        self.dispatched = 0
 
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def enqueue(self, request: MemoryRequest) -> None:
@@ -110,6 +113,7 @@ class MemoryController:
             request.dram_start_cycle = now
             done = service(request.address, now, request.is_write)
             self._inflight += 1
+            self.dispatched += 1
             engine.schedule(done, complete_cb, request)
 
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)

@@ -18,7 +18,7 @@ import hashlib
 import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 
 class BucketHistogram(Mapping):
@@ -196,6 +196,11 @@ class SystemStats:
 
     def core(self, core_id: int) -> CoreStats:
         return self.cores[core_id]
+
+    def progress_vector(self) -> Tuple[int, ...]:
+        """Per-core retired-event counts -- the forward-progress
+        watchdog's cheap probe (one tuple per check, no dict churn)."""
+        return tuple(core.retired for core in self.cores)
 
     @property
     def total_dram_requests(self) -> int:

@@ -91,6 +91,55 @@ SCALED_LARGE_LLC_CONFIG = SystemConfig(l1_size=8 * 1024,
                                        llc_size=1024 * 1024)
 
 
+class _NocSender:
+    """Picklable request path through the mesh: core tile -> LLC bank tile.
+
+    A closure over ``(system, core_id)`` would work identically at run
+    time but cannot be pickled, and the whole point of
+    :meth:`SimSystem.save_checkpoint` is that every callable reachable
+    from the event heap or a component's ``send`` slot serialises.
+    """
+
+    __slots__ = ("system", "core_id")
+
+    def __init__(self, system: "SimSystem", core_id: int) -> None:
+        self.system = system
+        self.core_id = core_id
+
+    def __call__(self, request: MemoryRequest) -> None:
+        from .noc import bank_tile
+
+        system = self.system
+        line = request.address // system.config.line_bytes
+        bank = line % system.config.llc_banks
+        dst = bank_tile(system.noc, bank, system.config.llc_banks)
+        arrive = system.noc.traverse(self.core_id % system.noc.tiles, dst,
+                                     system.engine.now)
+        system.engine.schedule(arrive, system.llc.lookup, request)
+
+
+class _PeriodicCallback:
+    """Self-rescheduling wrapper behind :meth:`SimSystem.every`.
+
+    Holds ``(engine, period, callback)`` as plain attributes instead of
+    closing over them so a checkpoint taken between ticks serialises the
+    pending event (provided ``callback`` itself is picklable -- a bound
+    method of a reachable object qualifies, a lambda does not).
+    """
+
+    __slots__ = ("engine", "period", "callback")
+
+    def __init__(self, engine: Engine, period: int,
+                 callback: Callable[[], None]) -> None:
+        self.engine = engine
+        self.period = period
+        self.callback = callback
+
+    def __call__(self) -> None:
+        self.callback()
+        self.engine.schedule_in(self.period, self)
+
+
 class _FcfsFallback(MemorySchedulerProtocol):
     """Oldest-first policy used when no scheduler is supplied.
 
@@ -191,6 +240,8 @@ class SimSystem:
                     f"unknown core model {self.config.core_model!r}")
             self.ports.append(port)
             self.cores.append(core)
+        #: optional forward-progress monitor (see repro.resilience.watchdog)
+        self.watchdog = None
         self._started = False
 
     def _mlp_for(self, trace, core_id: int,
@@ -205,19 +256,9 @@ class SimSystem:
     # ------------------------------------------------------------------
     # response plumbing
 
-    def _noc_send(self, core_id: int):
+    def _noc_send(self, core_id: int) -> _NocSender:
         """Request path through the mesh: core tile -> LLC bank tile."""
-        from .noc import bank_tile
-
-        def send(request: MemoryRequest) -> None:
-            line = request.address // self.config.line_bytes
-            bank = line % self.config.llc_banks
-            dst = bank_tile(self.noc, bank, self.config.llc_banks)
-            arrive = self.noc.traverse(core_id % self.noc.tiles, dst,
-                                       self.engine.now)
-            self.engine.schedule(arrive, self.llc.lookup, request)
-
-        return send
+        return _NocSender(self, core_id)
 
     def _on_llc_determination(self, request: MemoryRequest,
                               was_hit: bool) -> None:
@@ -265,12 +306,43 @@ class SimSystem:
         """Invoke ``callback`` every ``period`` cycles (tuner epochs)."""
         if period < 1:
             raise ValueError("period must be >= 1")
+        self.engine.schedule_in(period,
+                                _PeriodicCallback(self.engine, period,
+                                                  callback))
 
-        def tick() -> None:
-            callback()
-            self.engine.schedule_in(period, tick)
+    # ------------------------------------------------------------------
+    # resilience (checkpoint/restore + forward-progress watchdog)
 
-        self.engine.schedule_in(period, tick)
+    def save_checkpoint(self, path) -> None:
+        """Serialise the complete system state to ``path``.
+
+        Thin delegate to :func:`repro.resilience.checkpoint.save_checkpoint`
+        (imported lazily so the base simulator has no hard dependency on
+        the resilience package).
+        """
+        from ..resilience.checkpoint import save_checkpoint
+        save_checkpoint(self, path)
+
+    @staticmethod
+    def load_checkpoint(path) -> "SimSystem":
+        """Restore a system previously saved with :meth:`save_checkpoint`."""
+        from ..resilience.checkpoint import load_checkpoint
+        return load_checkpoint(path)
+
+    def attach_watchdog(self, config=None):
+        """Attach a forward-progress watchdog (see
+        :class:`repro.resilience.watchdog.ForwardProgressWatchdog`).
+
+        Returns the watchdog so callers can inspect it; attaching twice
+        replaces the previous instance's future checks (the old one stops
+        rescheduling once detached).
+        """
+        from ..resilience.watchdog import ForwardProgressWatchdog
+        if self.watchdog is not None:
+            self.watchdog.detach()
+        self.watchdog = ForwardProgressWatchdog(self, config)
+        self.watchdog.attach()
+        return self.watchdog
 
     def run(self, cycles: int) -> SystemStats:
         """Run (or continue) the simulation for ``cycles`` more cycles."""

@@ -17,7 +17,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.bins import BinConfig, BinSpec
-from .genome import Genome, crossover, genome_key, mutate, random_genome
+from ..resilience.watchdog import StarvationError
+from .genome import (Genome, crossover, genome_key, mutate, random_genome,
+                     validate_genome)
+from .objectives import STARVATION_FITNESS
 
 #: scores a batch of genomes; must return one fitness per genome, in
 #: order.  Injected to fan a generation's evaluations out in parallel
@@ -71,6 +74,8 @@ class GaResult:
     history: List[float] = field(default_factory=list)
     evaluations: int = 0
     memo_hits: int = 0
+    #: evaluations that starved and were penalised instead of scored
+    penalized: int = 0
 
 
 class GeneticAlgorithm:
@@ -87,6 +92,12 @@ class GeneticAlgorithm:
         self.num_cores = num_cores
         self.params = params or GaParams()
         self.repair = repair
+        # User-supplied seeds are the one place degenerate configurations
+        # (all-zero credits, wrong geometry) can enter the search; reject
+        # them here with the offending cores/bins named rather than
+        # paying a simulation to find out.
+        for genome in seed_genomes or []:
+            validate_genome(genome)
         self.seed_genomes = seed_genomes or []
         self.batch_evaluator = batch_evaluator
 
@@ -120,7 +131,16 @@ class GeneticAlgorithm:
                     f"batch evaluator returned {len(scores)} scores for "
                     f"{len(genomes)} genomes")
             return [float(score) for score in scores]
-        return [float(self.fitness(genome)) for genome in genomes]
+        scores = []
+        for genome in genomes:
+            try:
+                scores.append(float(self.fitness(genome)))
+            except StarvationError:
+                # A starved simulation is a bad candidate, not a search
+                # failure; FitnessEvaluator already maps this itself, so
+                # this guard covers bare fitness callables.
+                scores.append(STARVATION_FITNESS)
+        return scores
 
     def run(self) -> GaResult:
         rng = random.Random(self.params.seed)
@@ -176,6 +196,8 @@ class GeneticAlgorithm:
             population = next_population
 
         assert best_genome is not None
+        penalized = sum(1 for score in memo.values()
+                        if score <= STARVATION_FITNESS)
         return GaResult(best_genome=best_genome, best_fitness=best_fitness,
                         history=history, evaluations=evaluations,
-                        memo_hits=memo_hits)
+                        memo_hits=memo_hits, penalized=penalized)

@@ -13,9 +13,34 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 from ..core.bins import BinConfig, BinSpec
+from ..core.config_space import validate_credit_vector
 
 Genome = List[BinConfig]
 RepairFn = Callable[[Sequence[int], BinSpec], BinConfig]
+
+
+def validate_genome(genome: Genome) -> Genome:
+    """Reject genomes with unusable per-core configurations, up front.
+
+    Aggregates every core's :func:`~repro.core.config_space.
+    validate_credit_vector` failure into one :class:`ValueError` naming
+    the offending cores and bins, so user-supplied seed genomes fail at
+    GA construction rather than stalling a simulation mid-search.
+    Randomly generated and mutated genomes never trip this (both
+    operators guarantee at least one credit); the check guards the
+    user-facing boundary only.
+    """
+    if not genome:
+        raise ValueError("genome must configure at least one core")
+    errors = []
+    for core_id, config in enumerate(genome):
+        try:
+            validate_credit_vector(config.credits, config.spec)
+        except ValueError as exc:
+            errors.append(f"core {core_id}: {exc}")
+    if errors:
+        raise ValueError("invalid genome: " + "; ".join(errors))
+    return genome
 
 
 def random_config(spec: BinSpec, rng: random.Random,

@@ -17,12 +17,19 @@ from typing import Callable, List, Optional, Sequence
 from ..core.bins import BinConfig
 from ..core.pricing import config_price_core_equivalents
 from ..core.shaper import MittsShaper
+from ..resilience.watchdog import StarvationError, WatchdogConfig
 from ..sim.stats import SystemStats
 from ..sim.system import SimSystem, SystemConfig
 from .genome import Genome
 
 
 ObjectiveFn = Callable[[SystemStats, Genome, "FitnessEvaluator"], float]
+
+#: fitness assigned to a genome whose simulation starved (watchdog
+#: raised): finite (stays JSON/pickle-round-trippable, unlike -inf) yet
+#: unreachably below any real objective, so starved genomes lose every
+#: tournament without aborting the search
+STARVATION_FITNESS = -1.0e18
 
 
 def performance_objective(stats: SystemStats, genome: Genome,
@@ -81,8 +88,15 @@ class FitnessEvaluator:
     scheduler_factory: Optional[Callable[[int], object]] = None
     alone_work: Optional[List[float]] = None
     shaper_method: int = MittsShaper.METHOD_DEDUCT_REFUND
+    #: forward-progress watchdog attached to every evaluation run; pass
+    #: ``None`` to run unguarded (a degenerate genome then hangs until
+    #: the horizon instead of raising)
+    watchdog: Optional[WatchdogConfig] = field(
+        default_factory=WatchdogConfig)
     #: filled in as evaluations run: (genome, fitness) of the best seen
     evaluations: int = field(default=0)
+    #: evaluations that starved and were scored ``STARVATION_FITNESS``
+    starvations: int = field(default=0)
 
     def measure_alone(self) -> List[float]:
         """Per-program work retired running alone (unshaped)."""
@@ -122,10 +136,24 @@ class FitnessEvaluator:
         system = SimSystem(self.traces, config=self.system_config,
                            limiters=limiters,
                            scheduler=self._make_scheduler(len(self.traces)))
+        if self.watchdog is not None:
+            system.attach_watchdog(self.watchdog)
         return system.run(self.run_cycles)
 
     def __call__(self, genome: Genome) -> float:
-        stats = self.run_genome(genome)
+        """Fitness of ``genome``; starved runs score ``STARVATION_FITNESS``.
+
+        A genome that parks its cores (watchdog raises
+        :class:`~repro.resilience.watchdog.StarvationError`) is a *bad
+        candidate*, not a search failure: it gets a finite, maximally
+        poor fitness and the GA moves on.
+        """
+        try:
+            stats = self.run_genome(genome)
+        except StarvationError:
+            self.evaluations += 1
+            self.starvations += 1
+            return STARVATION_FITNESS
         self.evaluations += 1
         return self.objective(stats, genome, self)
 

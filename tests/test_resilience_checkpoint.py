@@ -1,0 +1,246 @@
+"""Checkpoint/restore: resumed runs must be bit-identical.
+
+The oracle is the golden-fingerprint set: each golden mix is run to its
+halfway point, checkpointed, restored from disk, and run to completion --
+the final fingerprint must equal the recorded golden hash exactly, with
+contracts both off and on.  The format tests prove a damaged checkpoint
+is *rejected* (``CheckpointError``), never silently half-loaded.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import contracts
+from repro.core.bins import BinConfig
+from repro.core.shaper import MittsShaper
+from repro.resilience.checkpoint import (CHECKPOINT_VERSION, CheckpointError,
+                                         checkpoint_scope,
+                                         discard_checkpoint,
+                                         job_checkpoint_path,
+                                         load_checkpoint,
+                                         read_checkpoint_meta,
+                                         run_with_checkpoints,
+                                         save_checkpoint)
+from repro.sched.base import FcfsScheduler, FrFcfsScheduler
+from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+from repro.workloads.mixes import workload_traces
+
+from tests.test_golden_fingerprints import (GOLDEN_CYCLES, GOLDEN_MIX_NOC,
+                                            GOLDEN_MIX_SIMPLE,
+                                            GOLDEN_MIX_WINDOW_SHAPED)
+
+HALFWAY = GOLDEN_CYCLES // 2
+
+
+def build_mix_simple() -> SimSystem:
+    return SimSystem(workload_traces(1, seed=11),
+                     config=SCALED_MULTI_CONFIG)
+
+
+def build_mix_window_shaped() -> SimSystem:
+    traces = workload_traces(2, seed=22)
+    config = replace(SCALED_MULTI_CONFIG, core_model="window")
+    credits = [4, 4, 3, 3, 2, 2, 1, 1, 1, 1]
+    limiters = [MittsShaper(BinConfig.from_credits(credits), phase=17 * i)
+                for i in range(len(traces))]
+    return SimSystem(traces, config=config, limiters=limiters,
+                     scheduler=FrFcfsScheduler(len(traces)))
+
+
+def build_mix_noc() -> SimSystem:
+    traces = workload_traces(3, seed=33)
+    config = replace(SCALED_MULTI_CONFIG, noc_enabled=True)
+    return SimSystem(traces, config=config,
+                     scheduler=FcfsScheduler(len(traces)))
+
+
+GOLDEN_MIXES = [
+    pytest.param(build_mix_simple, GOLDEN_MIX_SIMPLE, id="simple"),
+    pytest.param(build_mix_window_shaped, GOLDEN_MIX_WINDOW_SHAPED,
+                 id="window-shaped"),
+    pytest.param(build_mix_noc, GOLDEN_MIX_NOC, id="noc"),
+]
+
+
+def _small_system() -> SimSystem:
+    return build_mix_simple()
+
+
+class TestGoldenResume:
+    @pytest.mark.parametrize("build, golden", GOLDEN_MIXES)
+    def test_resume_reproduces_golden(self, build, golden, tmp_path):
+        path = tmp_path / "half.ckpt"
+        system = build()
+        system.run(HALFWAY)
+        system.save_checkpoint(path)
+        del system
+
+        resumed = SimSystem.load_checkpoint(path)
+        assert resumed.engine.now == HALFWAY
+        resumed.run(GOLDEN_CYCLES - HALFWAY)
+        assert resumed.stats.fingerprint() == golden
+
+    def test_resume_reproduces_golden_with_contracts(self, tmp_path):
+        path = tmp_path / "half.ckpt"
+        with contracts.enabled_scope():
+            system = build_mix_window_shaped()
+            system.run(HALFWAY)
+            save_checkpoint(system, path)
+            resumed = load_checkpoint(path)
+            resumed.run(GOLDEN_CYCLES - HALFWAY)
+            assert resumed.stats.fingerprint() == GOLDEN_MIX_WINDOW_SHAPED
+
+    def test_load_refreshes_engine_contracts_flag(self, tmp_path):
+        # Saved with contracts off, loaded with contracts on: the engine
+        # must run the checked path (its captured flag is stale).
+        path = tmp_path / "toggle.ckpt"
+        with contracts.enabled_scope(False):
+            system = _small_system()
+            system.run(1_000)
+            save_checkpoint(system, path)
+        with contracts.enabled_scope(True):
+            resumed = load_checkpoint(path)
+            assert resumed.engine._contracts is True
+        with contracts.enabled_scope(False):
+            resumed = load_checkpoint(path)
+            assert resumed.engine._contracts is False
+
+
+class TestCheckpointFormat:
+    def test_meta_readable_without_unpickling(self, tmp_path):
+        path = tmp_path / "meta.ckpt"
+        system = _small_system()
+        system.run(2_000)
+        save_checkpoint(system, path)
+        meta = read_checkpoint_meta(path)
+        assert meta["version"] == CHECKPOINT_VERSION
+        assert meta["cycle"] == 2_000
+        assert meta["cores"] == len(system.cores)
+        assert meta["pending_events"] == system.engine.pending_events
+
+    def test_corrupted_body_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.ckpt"
+        system = _small_system()
+        system.run(1_000)
+        save_checkpoint(system, path)
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint"
+        path.write_bytes(b"definitely not a checkpoint\n")
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="magic"):
+            read_checkpoint_meta(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "never-written.ckpt")
+
+    def test_version_mismatch_rejected(self, tmp_path, monkeypatch):
+        path = tmp_path / "future.ckpt"
+        system = _small_system()
+        system.run(500)
+        import repro.resilience.checkpoint as checkpoint_module
+        monkeypatch.setattr(checkpoint_module, "CHECKPOINT_VERSION", 999)
+        save_checkpoint(system, path)
+        monkeypatch.undo()
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_unpicklable_system_raises_checkpoint_error(self, tmp_path):
+        system = _small_system()
+        system.run(100)
+        system.not_picklable = lambda: None  # closure: cannot pickle
+        with pytest.raises(CheckpointError, match="not checkpointable"):
+            save_checkpoint(system, tmp_path / "nope.ckpt")
+        assert not (tmp_path / "nope.ckpt").exists()
+
+    def test_discard_is_none_safe_and_idempotent(self, tmp_path):
+        discard_checkpoint(None)
+        path = tmp_path / "gone.ckpt"
+        path.write_bytes(b"x")
+        discard_checkpoint(path)
+        assert not path.exists()
+        discard_checkpoint(path)  # already gone: still fine
+
+
+class TestRunWithCheckpoints:
+    def test_chunked_run_matches_straight_run(self, tmp_path):
+        straight = _small_system()
+        straight.run(10_000)
+        expected = straight.stats.fingerprint()
+
+        path = tmp_path / "periodic.ckpt"
+        system = run_with_checkpoints(_small_system, 10_000, path=path,
+                                      interval=3_000)
+        assert system.stats.fingerprint() == expected
+        # The last periodic save (cycle 9_000) is left for the caller.
+        assert read_checkpoint_meta(path)["cycle"] == 9_000
+
+    def test_resumes_from_existing_checkpoint(self, tmp_path):
+        path = tmp_path / "resume.ckpt"
+        half = _small_system()
+        half.run(6_000)
+        save_checkpoint(half, path)
+
+        calls = []
+
+        def tracked_make():
+            calls.append(1)
+            return _small_system()
+
+        system = run_with_checkpoints(tracked_make, 10_000, path=path,
+                                      interval=50_000)
+        assert calls == []  # resumed, never rebuilt from scratch
+        straight = _small_system()
+        straight.run(10_000)
+        assert system.stats.fingerprint() == straight.stats.fingerprint()
+
+    def test_corrupt_checkpoint_discarded_and_restarted(self, tmp_path):
+        path = tmp_path / "rotted.ckpt"
+        half = _small_system()
+        half.run(6_000)
+        save_checkpoint(half, path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        system = run_with_checkpoints(_small_system, 10_000, path=path,
+                                      interval=50_000)
+        straight = _small_system()
+        straight.run(10_000)
+        assert system.stats.fingerprint() == straight.stats.fingerprint()
+
+    def test_no_path_runs_without_saving(self, tmp_path):
+        system = run_with_checkpoints(_small_system, 5_000, interval=1_000)
+        assert system.engine.now == 5_000
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            run_with_checkpoints(_small_system, 1_000, interval=0)
+
+
+class TestAmbientCheckpointPath:
+    def test_scope_publishes_and_restores(self):
+        assert job_checkpoint_path() is None
+        with checkpoint_scope("/tmp/a.ckpt"):
+            assert job_checkpoint_path() == "/tmp/a.ckpt"
+            with checkpoint_scope(None):
+                assert job_checkpoint_path() is None
+            assert job_checkpoint_path() == "/tmp/a.ckpt"
+        assert job_checkpoint_path() is None
+
+    def test_run_with_checkpoints_uses_ambient_path(self, tmp_path):
+        path = tmp_path / "ambient.ckpt"
+        with checkpoint_scope(str(path)):
+            run_with_checkpoints(_small_system, 8_000, interval=3_000)
+        assert path.exists()
+        assert read_checkpoint_meta(path)["cycle"] == 6_000

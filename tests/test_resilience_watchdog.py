@@ -1,0 +1,215 @@
+"""Forward-progress watchdog: bit-neutral when healthy, loud when starved.
+
+Neutrality is pinned against the golden fingerprints (a watchdog that
+perturbs event order would change the hash), in both contract modes.
+Starvation detection is exercised with genuinely degenerate shaper
+configurations, and the tuning layer's conversion of a starved run into
+a penalised-but-finite fitness is proven end to end.
+"""
+
+import pytest
+
+from repro.analysis import contracts
+from repro.core.bins import BinConfig, BinSpec
+from repro.core.config_space import (validate_bin_config,
+                                     validate_credit_vector)
+from repro.core.shaper import MittsShaper
+from repro.resilience.watchdog import StarvationError, WatchdogConfig
+from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
+from repro.tuning.ga import GaParams, GaResult, GeneticAlgorithm
+from repro.tuning.genome import validate_genome
+from repro.tuning.objectives import (STARVATION_FITNESS, FitnessEvaluator,
+                                     performance_objective)
+from repro.workloads.mixes import workload_traces
+
+from tests.test_golden_fingerprints import (GOLDEN_CYCLES,
+                                            GOLDEN_MIX_SIMPLE,
+                                            GOLDEN_MIX_WINDOW_SHAPED)
+from tests.test_resilience_checkpoint import (build_mix_simple,
+                                              build_mix_window_shaped)
+
+#: tight window so starvation tests stay cheap
+FAST_WATCHDOG = WatchdogConfig(check_period=1_000, stall_threshold=8_000)
+
+
+def _zero_credit_system() -> SimSystem:
+    traces = workload_traces(1, seed=11)
+    limiters = [MittsShaper(BinConfig.from_credits([0] * 10))
+                for _ in traces]
+    return SimSystem(traces, config=SCALED_MULTI_CONFIG, limiters=limiters)
+
+
+class TestBitNeutrality:
+    @pytest.mark.parametrize("checked", [False, True],
+                             ids=["contracts-off", "contracts-on"])
+    @pytest.mark.parametrize("build, golden", [
+        pytest.param(build_mix_simple, GOLDEN_MIX_SIMPLE, id="simple"),
+        pytest.param(build_mix_window_shaped, GOLDEN_MIX_WINDOW_SHAPED,
+                     id="window-shaped"),
+    ])
+    def test_watchdog_preserves_golden_fingerprint(self, build, golden,
+                                                   checked):
+        with contracts.enabled_scope(checked):
+            system = build()
+            system.attach_watchdog()
+            system.run(GOLDEN_CYCLES)
+            assert system.stats.fingerprint() == golden
+
+
+class TestStarvationDetection:
+    def test_zero_credit_shapers_raise_within_window(self):
+        system = _zero_credit_system()
+        system.attach_watchdog(FAST_WATCHDOG)
+        with pytest.raises(StarvationError) as excinfo:
+            system.run(60_000)
+        # Detected within threshold + one check period of the stall onset.
+        window = (FAST_WATCHDOG.stall_threshold
+                  + 2 * FAST_WATCHDOG.check_period)
+        assert excinfo.value.diagnostics["cycle"] <= window
+
+    def test_diagnostics_explain_the_stall(self):
+        system = _zero_credit_system()
+        system.attach_watchdog(FAST_WATCHDOG)
+        with pytest.raises(StarvationError) as excinfo:
+            system.run(60_000)
+        diag = excinfo.value.diagnostics
+        assert set(diag) == {"cycle", "cores", "mc"}
+        for core in diag["cores"]:
+            assert core["stall_age"] >= FAST_WATCHDOG.stall_threshold
+            assert core["port_occupancy"] > 0 or core["outstanding_misses"] > 0
+            assert core["shaper"]["stall_forever"] is True
+            assert core["shaper"]["credits"] == [0] * 10
+        assert diag["mc"]["dispatched"] == 0
+
+    def test_starvation_error_survives_pickling(self):
+        import pickle
+
+        error = StarvationError("starved", {"cycle": 9_000, "cores": []})
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == "starved"
+        assert clone.diagnostics == {"cycle": 9_000, "cores": []}
+
+    def test_healthy_run_with_tight_watchdog_stays_quiet(self):
+        system = build_mix_simple()
+        system.attach_watchdog(FAST_WATCHDOG)
+        system.run(40_000)  # no exception: progress is continuous
+
+    def test_detach_stops_future_checks(self):
+        system = _zero_credit_system()
+        watchdog = system.attach_watchdog(FAST_WATCHDOG)
+        watchdog.detach()
+        system.run(30_000)  # would have raised at ~9000 if still armed
+
+    def test_reattach_replaces_previous_watchdog(self):
+        system = _zero_credit_system()
+        first = system.attach_watchdog(FAST_WATCHDOG)
+        second = system.attach_watchdog(FAST_WATCHDOG)
+        assert system.watchdog is second and first is not second
+        with pytest.raises(StarvationError):
+            system.run(60_000)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(check_period=0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(check_period=100, stall_threshold=50)
+
+
+class TestConfigValidation:
+    SPEC = BinSpec()
+
+    def test_all_zero_rejected_naming_bins(self):
+        with pytest.raises(ValueError, match="zero credits"):
+            validate_credit_vector([0] * self.SPEC.num_bins, self.SPEC)
+
+    def test_unreachable_bins_rejected_by_index(self):
+        vector = [1] * (self.SPEC.num_bins + 2)
+        with pytest.raises(ValueError, match=r"unreachable") as excinfo:
+            validate_credit_vector(vector, self.SPEC)
+        assert f"[{self.SPEC.num_bins}, {self.SPEC.num_bins + 1}]" \
+            in str(excinfo.value)
+
+    def test_short_vector_rejected(self):
+        with pytest.raises(ValueError, match="unconfigured"):
+            validate_credit_vector([1] * (self.SPEC.num_bins - 1),
+                                   self.SPEC)
+
+    def test_negative_bins_named(self):
+        vector = [1] * self.SPEC.num_bins
+        vector[3] = -1
+        vector[7] = -2
+        with pytest.raises(ValueError, match=r"\[3, 7\]"):
+            validate_credit_vector(vector, self.SPEC)
+
+    def test_over_limit_bins_named(self):
+        vector = [1] * self.SPEC.num_bins
+        vector[2] = self.SPEC.max_credits + 1
+        with pytest.raises(ValueError, match=r"\[2\]"):
+            validate_credit_vector(vector, self.SPEC)
+
+    def test_valid_config_passes_through(self):
+        config = BinConfig.from_credits([1] * self.SPEC.num_bins)
+        assert validate_bin_config(config) is config
+
+    def test_genome_errors_aggregate_across_cores(self):
+        good = BinConfig.from_credits([1] * self.SPEC.num_bins)
+        bad = BinConfig.from_credits([0] * self.SPEC.num_bins)
+        with pytest.raises(ValueError) as excinfo:
+            validate_genome([good, bad, bad])
+        message = str(excinfo.value)
+        assert "core 1" in message and "core 2" in message
+        assert "core 0" not in message
+
+    def test_empty_genome_rejected(self):
+        with pytest.raises(ValueError, match="at least one core"):
+            validate_genome([])
+
+
+class TestTuningIntegration:
+    def _evaluator(self, **overrides) -> FitnessEvaluator:
+        defaults = dict(traces=workload_traces(1, seed=11),
+                        system_config=SCALED_MULTI_CONFIG,
+                        run_cycles=20_000,
+                        objective=performance_objective,
+                        watchdog=FAST_WATCHDOG)
+        defaults.update(overrides)
+        return FitnessEvaluator(**defaults)
+
+    def test_starved_genome_scores_penalty_not_crash(self):
+        evaluator = self._evaluator()
+        zero = BinConfig.from_credits([0] * 10)
+        genome = [zero for _ in range(len(evaluator.traces))]
+        fitness = evaluator(genome)
+        assert fitness == STARVATION_FITNESS
+        assert evaluator.starvations == 1
+        assert evaluator.evaluations == 1
+
+    def test_live_genome_beats_starved_one(self):
+        evaluator = self._evaluator()
+        live = BinConfig.from_credits([8] + [2] * 9)
+        fitness = evaluator([live for _ in range(len(evaluator.traces))])
+        assert fitness > STARVATION_FITNESS
+        assert evaluator.starvations == 0
+
+    def test_ga_rejects_degenerate_seed_genomes(self):
+        spec = BinSpec()
+        zero = BinConfig.from_credits([0] * spec.num_bins)
+        with pytest.raises(ValueError, match="core 0"):
+            GeneticAlgorithm(fitness=lambda genome: 0.0, spec=spec,
+                             num_cores=2,
+                             seed_genomes=[[zero, zero]])
+
+    def test_ga_survives_universally_starved_fitness(self):
+        spec = BinSpec()
+
+        def always_starves(genome):
+            raise StarvationError("injected", {"cycle": 0})
+
+        ga = GeneticAlgorithm(fitness=always_starves, spec=spec,
+                              num_cores=1,
+                              params=GaParams(generations=2, population=4,
+                                              elite=1, seed=3))
+        result = ga.run()
+        assert isinstance(result, GaResult)
+        assert result.best_fitness == STARVATION_FITNESS
+        assert result.penalized == result.evaluations > 0
