@@ -9,14 +9,27 @@ SCALE ?= smoke
 CACHE_DIR ?= .repro-cache
 RESULTS_DIR ?= results
 
-.PHONY: all lint test test-contracts baseline rules bench bench-quick \
-	bench-figures sweep chaos
+.PHONY: all lint analyze typecheck test test-contracts baseline rules \
+	bench bench-quick bench-figures sweep chaos
 
-all: lint test
+all: lint analyze test
 
 ## simlint over the library; exits nonzero on any non-baselined finding
 lint:
 	$(PYTHON) -m repro.analysis src --format json
+
+## simlint + simflow (whole-program effect/dataflow/pickle analysis)
+analyze:
+	$(PYTHON) -m repro.analysis --whole-program src --format json
+
+## mypy --strict over the typed core; skipped (exit 0) when mypy is not
+## installed so offline checkouts are never blocked by an optional tool
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict src/repro/core src/repro/analysis; \
+	else \
+		echo "typecheck: mypy not installed, skipping"; \
+	fi
 
 ## tier-1 test suite
 test:

@@ -20,6 +20,13 @@ configuration, so this package enforces the contract by machine:
     :mod:`~repro.analysis.baseline`); the CLI exits nonzero on any
     non-baselined finding.
 
+``repro.analysis.simflow`` (:mod:`~repro.analysis.flow`)
+    The whole-program counterpart: a symbol table, an idiom-aware call
+    graph, and the interprocedural SIM009-SIM014 rule set (effect
+    inference, cycle-units dataflow, checkpoint/pickle safety).  Run it
+    through the same CLI with ``--whole-program``; pragmas, baseline
+    and JSON output are shared with simlint.
+
 :mod:`repro.analysis.contracts`
     Lightweight runtime invariants (``@invariant`` / ``check``) wired into
     the simulator's hot seams -- engine time monotonicity and heap-FIFO

@@ -28,6 +28,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
+    parser.add_argument("--whole-program", action="store_true",
+                        help="additionally run the interprocedural simflow "
+                             "passes (effects, cycle-units dataflow, "
+                             "checkpoint/pickle safety) over all paths "
+                             "as one program")
     parser.add_argument("--select", metavar="SIM001,SIM004",
                         help="comma-separated rule ids to run "
                              "(default: all)")
@@ -118,6 +123,15 @@ def main(argv: Optional[Sequence[str]] = None,
         return 2
 
     findings: List[Finding] = linter.lint_paths(args.paths)
+
+    if args.whole_program:
+        # Import here: the flow package parses the whole tree and is only
+        # needed when the interprocedural passes actually run.
+        from .flow import analyze_paths
+
+        flow_select = set(select) if select is not None else None
+        findings.extend(analyze_paths(args.paths, select=flow_select))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
 
     baseline_path = _resolve_baseline(args)
     if args.write_baseline:

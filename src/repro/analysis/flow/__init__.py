@@ -1,0 +1,50 @@
+"""simflow: whole-program effect & dataflow analysis.
+
+simlint (:mod:`repro.analysis.rules`) proves determinism properties one
+file at a time; anything reached *through a call chain* -- a wall-clock
+read two helpers deep, a float that becomes a cycle count in the caller,
+a class the checkpoint pickler visits -- is invisible to it.  simflow is
+the interprocedural counterpart: it parses every module under a root into
+a symbol table (:mod:`~repro.analysis.flow.symbols`), builds a call graph
+that understands the codebase's idioms -- pre-bound callbacks handed to
+``Engine.schedule``/``schedule_in``/``SimSystem.every``, classes whose
+instances are scheduled as callables, ``module:qualname`` JobSpec strings
+(:mod:`~repro.analysis.flow.callgraph`) -- and runs three interprocedural
+passes over it:
+
+* **effect inference** (:mod:`~repro.analysis.flow.effects`, SIM009-011):
+  classify each function's transitive effects (wall clock, unseeded RNG,
+  ambient env/filesystem/global state) and fail when a nondeterministic
+  effect is reachable from ``SimSystem.run`` or any scheduled callback,
+  except through the pragma'd ``repro/runner/wallclock.py``;
+* **cycle-units dataflow** (:mod:`~repro.analysis.flow.cycles`, SIM012):
+  track float-ness of values flowing into ``when``/``delay`` arguments
+  across calls -- the interprocedural SIM003/SIM007;
+* **serialization safety** (:mod:`~repro.analysis.flow.pickles`,
+  SIM013-014): every class reachable from the ``SimSystem`` checkpoint
+  graph must carry ``__slots__``-consistent state, and every JobSpec
+  callable must be importable by ``module:qualname``.
+
+Run it behind the existing CLI::
+
+    python -m repro.analysis --whole-program src
+    python -m repro.analysis --whole-program src --format json
+
+Findings reuse the simlint machinery end to end: the same
+:class:`~repro.analysis.findings.Finding` type, ``# simlint:
+disable=SIM0xx`` pragmas, and the versioned baseline file.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .driver import ProgramRule, analyze_paths, analyze_sources
+from .symbols import Program
+
+__all__ = [
+    "CallGraph",
+    "Program",
+    "ProgramRule",
+    "analyze_paths",
+    "analyze_sources",
+]

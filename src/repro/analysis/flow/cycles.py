@@ -1,0 +1,272 @@
+"""Interprocedural cycle-units dataflow (rule SIM012).
+
+SIM003 catches a float *written directly inside* a ``schedule`` cycle
+argument; this pass catches the float that arrives *through dataflow*: a
+helper whose return expression divides, a parameter that some call site
+feeds a float, a local assigned from either.  The lattice per value is
+``{clean, tainted}``; three facts are computed to a joint fixpoint over
+the call graph:
+
+* ``returns_float(f)`` -- some ``return`` expression of ``f`` is tainted;
+* ``tainted_params(f)`` -- parameters that receive a tainted argument at
+  at least one resolved call site;
+* ``tainted_locals(f)`` -- names assigned a tainted expression
+  (flow-insensitive: one taint anywhere taints the name everywhere).
+
+``repro.dram.timing`` is the sanctioned conversion point (SIM007): its
+functions' returns are trusted clean, exactly like the per-file rule
+trusts its internals.  ``int()``, ``round()``, ``//``, ``math.floor`` and
+``math.ceil`` launder taint -- they produce ints.
+
+To stay purely interprocedural (and not double-report what SIM003
+already flags), a schedule site is only reported when the taint reaches
+the cycle expression through a *name or call*, never when the float
+literal / ``/`` / ``float()`` sits in the expression itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from .callgraph import CallGraph, ScheduleSite
+from .symbols import FunctionInfo, Program, _dotted
+
+#: call targets that always produce an int (taint launderers)
+_INT_FUNCS = frozenset({"int", "round", "len", "ord", "id", "hash",
+                        "math.floor", "math.ceil", "math.trunc"})
+#: call targets that produce floats outright
+_FLOAT_FUNCS = frozenset({"float", "math.sqrt", "math.log", "math.log2",
+                          "math.exp", "math.pow", "math.sin", "math.cos",
+                          "statistics.mean", "statistics.median", "sum"})
+# (`sum` is only float when its inputs are; treating it as clean would
+# miss `sum(latencies) / n` hidden behind a helper, and schedule args
+# built from sum() of ints almost always go through // anyway -- so sum
+# itself is NOT in the float set; listed here once to document the
+# decision.)
+_FLOAT_FUNCS = _FLOAT_FUNCS - {"sum"}
+
+#: modules whose returns are trusted integral (the sanctioned converters)
+_TRUSTED_MODULES = ("dram.timing",)
+
+
+class TaintReason(NamedTuple):
+    description: str
+    lineno: int
+
+
+class CycleTaintAnalysis:
+    """Fixpoint float-taint over returns, params and locals."""
+
+    def __init__(self, program: Program, graph: CallGraph) -> None:
+        self.program = program
+        self.graph = graph
+        self.returns_float: Dict[str, Optional[TaintReason]] = {}
+        self.tainted_params: Dict[str, Dict[str, TaintReason]] = {}
+        self.tainted_locals: Dict[str, Dict[str, TaintReason]] = {}
+        for func in program.all_functions():
+            self.returns_float[func.qualname] = None
+            self.tainted_params[func.qualname] = self._declared_floats(func)
+            self.tainted_locals[func.qualname] = {}
+        self._fixpoint()
+
+    @staticmethod
+    def _declared_floats(func: FunctionInfo) -> Dict[str, TaintReason]:
+        """Params that are floats by declaration: ``x: float`` or a float
+        default value."""
+        tainted: Dict[str, TaintReason] = {}
+        args = func.node.args
+        positional = args.posonlyargs + args.args
+        defaults: List[Optional[ast.expr]] = (
+            [None] * (len(positional) - len(args.defaults))
+            + list(args.defaults))
+        for arg, default in list(zip(positional, defaults)) + list(
+                zip(args.kwonlyargs, args.kw_defaults)):
+            if (arg.annotation is not None
+                    and isinstance(arg.annotation, ast.Name)
+                    and arg.annotation.id == "float"):
+                tainted[arg.arg] = TaintReason(
+                    f"{arg.arg} is annotated float", arg.lineno)
+            elif (default is not None
+                    and isinstance(default, ast.Constant)
+                    and isinstance(default.value, float)):
+                tainted[arg.arg] = TaintReason(
+                    f"{arg.arg} defaults to the float {default.value!r}",
+                    arg.lineno)
+        return tainted
+
+    # ------------------------------------------------------------------
+
+    def _trusted(self, func: FunctionInfo) -> bool:
+        return any(func.module.name.endswith(m) for m in _TRUSTED_MODULES)
+
+    def _fixpoint(self) -> None:
+        changed = True
+        rounds = 0
+        while changed and rounds < 50:
+            rounds += 1
+            changed = False
+            for func in self.program.all_functions():
+                if self._update_locals(func):
+                    changed = True
+                if self._update_return(func):
+                    changed = True
+            if self._update_params():
+                changed = True
+
+    def _update_locals(self, func: FunctionInfo) -> bool:
+        changed = False
+        locals_ = self.tainted_locals[func.qualname]
+        for node in ast.walk(func.node):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            name = node.targets[0].id
+            if name in locals_:
+                continue
+            reason = self._taint(func, node.value, allow_direct=True)
+            if reason is not None:
+                locals_[name] = TaintReason(
+                    f"{name} = {reason.description}", node.lineno)
+                changed = True
+        return changed
+
+    def _update_return(self, func: FunctionInfo) -> bool:
+        if self.returns_float[func.qualname] is not None \
+                or self._trusted(func):
+            return False
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                reason = self._taint(func, node.value, allow_direct=True)
+                if reason is not None:
+                    self.returns_float[func.qualname] = TaintReason(
+                        f"returns {reason.description}", node.lineno)
+                    return True
+        return False
+
+    def _update_params(self) -> bool:
+        changed = False
+        for site in self.graph.sites:
+            if site.kind != "call" or not isinstance(site.node, ast.Call):
+                continue
+            callee = site.callee
+            if self._trusted(callee):
+                continue
+            params = self.tainted_params[callee.qualname]
+            for param, expr in _bind_args(callee, site.node):
+                if param in params:
+                    continue
+                reason = self._taint(site.caller, expr, allow_direct=True)
+                if reason is not None:
+                    params[param] = TaintReason(
+                        f"{param} receives {reason.description} from "
+                        f"{site.caller.qualname} "
+                        f"(line {site.node.lineno})",
+                        site.node.lineno)
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # expression taint
+
+    def _taint(self, func: FunctionInfo, expr: ast.expr,
+               allow_direct: bool) -> Optional[TaintReason]:
+        """Taint of ``expr`` evaluated in ``func``.
+
+        ``allow_direct=False`` ignores float sources written literally in
+        the expression (SIM003's jurisdiction) and only reports taint
+        arriving through names and calls.
+        """
+        if isinstance(expr, ast.Constant):
+            if allow_direct and isinstance(expr.value, float):
+                return TaintReason(f"the float literal {expr.value!r}",
+                                   expr.lineno)
+            return None
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                if allow_direct:
+                    return TaintReason("true division (/)", expr.lineno)
+                return None
+            if isinstance(expr.op, (ast.FloorDiv, ast.RShift, ast.LShift,
+                                    ast.BitAnd, ast.BitOr, ast.Mod)):
+                return None  # integral by construction
+            return (self._taint(func, expr.left, allow_direct)
+                    or self._taint(func, expr.right, allow_direct))
+        if isinstance(expr, ast.UnaryOp):
+            return self._taint(func, expr.operand, allow_direct)
+        if isinstance(expr, ast.IfExp):
+            return (self._taint(func, expr.body, allow_direct)
+                    or self._taint(func, expr.orelse, allow_direct))
+        if isinstance(expr, ast.Call):
+            return self._call_taint(func, expr, allow_direct)
+        if isinstance(expr, ast.Name):
+            local = self.tainted_locals[func.qualname].get(expr.id)
+            if local is not None:
+                return local
+            param = self.tainted_params[func.qualname].get(expr.id)
+            if param is not None:
+                return param
+            return None
+        return None
+
+    def _call_taint(self, func: FunctionInfo, call: ast.Call,
+                    allow_direct: bool) -> Optional[TaintReason]:
+        dotted = _dotted(call.func)
+        simple = dotted.split(".")[-1] if "." not in dotted else dotted
+        if dotted in _INT_FUNCS or simple in ("int", "round", "len"):
+            return None
+        if dotted in _FLOAT_FUNCS or dotted == "float":
+            if allow_direct:
+                return TaintReason(f"a {dotted}() conversion", call.lineno)
+            return None
+        if dotted in ("min", "max", "abs", "sum"):
+            for arg in call.args:
+                reason = self._taint(func, arg, allow_direct)
+                if reason is not None:
+                    return reason
+            return None
+        # resolved program function with a float-tainted return?
+        for site in self.graph.calls_from(func.qualname):
+            if site.node is call and site.kind == "call":
+                callee = site.callee
+                reason = self.returns_float.get(callee.qualname)
+                if reason is not None:
+                    return TaintReason(
+                        f"a call to {callee.qualname}() which "
+                        f"{reason.description} (line {reason.lineno})",
+                        call.lineno)
+        return None
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def violations(self) -> List[Tuple[ScheduleSite, TaintReason]]:
+        out = []
+        for site in self.graph.schedule_sites:
+            if site.cycle is None:
+                continue
+            reason = self._taint(site.caller, site.cycle,
+                                 allow_direct=False)
+            if reason is not None:
+                out.append((site, reason))
+        return out
+
+
+def _bind_args(callee: FunctionInfo,
+               call: ast.Call) -> List[Tuple[str, ast.expr]]:
+    """Map call-site argument expressions onto callee parameter names."""
+    params = callee.param_names()
+    if callee.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    bound: List[Tuple[str, ast.expr]] = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            bound.append((params[index], arg))
+    names = set(params)
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in names:
+            bound.append((keyword.arg, keyword.value))
+    return bound

@@ -1,0 +1,125 @@
+"""Whole-program analysis driver.
+
+Builds the expensive shared state -- symbol table, call graph, the three
+analyses -- exactly once per run (:class:`ProgramContext`), hands it to
+every registered :class:`ProgramRule`, then applies the same pragma
+suppression the per-file linter uses and returns findings sorted by
+location.
+
+``ProgramRule`` subclasses the per-file :class:`~repro.analysis.registry.Rule`
+so the existing registry, ``--list-rules`` and ``--select`` machinery see
+the whole-program rules with zero changes; their per-file ``check`` is a
+no-op, so a plain ``Linter`` run is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..findings import Finding
+from ..registry import Rule, all_rules
+from .callgraph import CallGraph
+from .cycles import CycleTaintAnalysis
+from .effects import EffectAnalysis
+from .pickles import PickleReachability
+from .symbols import Program
+
+
+class ProgramContext:
+    """One run's shared analysis state.
+
+    The call graph is built eagerly (everything needs it); the three
+    passes are built lazily so ``--select SIM012`` does not pay for the
+    effect fixpoint.
+    """
+
+    __slots__ = ("program", "graph", "_effects", "_cycles", "_pickles")
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.graph = CallGraph(program)
+        self._effects: Optional[EffectAnalysis] = None
+        self._cycles: Optional[CycleTaintAnalysis] = None
+        self._pickles: Optional[PickleReachability] = None
+
+    @property
+    def effects(self) -> EffectAnalysis:
+        if self._effects is None:
+            self._effects = EffectAnalysis(self.program, self.graph)
+        return self._effects
+
+    @property
+    def cycles(self) -> CycleTaintAnalysis:
+        if self._cycles is None:
+            self._cycles = CycleTaintAnalysis(self.program, self.graph)
+        return self._cycles
+
+    @property
+    def pickles(self) -> PickleReachability:
+        if self._pickles is None:
+            self._pickles = PickleReachability(self.program, self.graph)
+        return self._pickles
+
+    def snippet(self, path: str, line: int) -> str:
+        """Stripped source line for fingerprinting, '' when unknown."""
+        module = self.program.module_for_path(path)
+        if module is None:
+            return ""
+        lines = module.module.lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+
+class ProgramRule(Rule):
+    """A rule that sees the whole :class:`Program` at once.
+
+    ``check`` (the per-file hook) yields nothing so the plain linter
+    skips these; the driver calls :meth:`check_program` instead.
+    """
+
+    #: marker the CLI uses to partition rule listings
+    whole_program = True
+
+    def check(self, module) -> Iterable[Finding]:
+        return iter(())
+
+    def check_program(self, context: ProgramContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def program_rules(select: Optional[Set[str]] = None) -> List[ProgramRule]:
+    """Registered whole-program rules, optionally narrowed to ``select``."""
+    rules = [r for r in all_rules() if isinstance(r, ProgramRule)]
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
+    return rules
+
+
+def analyze_program(program: Program,
+                    select: Optional[Set[str]] = None) -> List[Finding]:
+    """Run every (selected) whole-program rule over ``program``."""
+    context = ProgramContext(program)
+    findings: List[Finding] = []
+    for rule_instance in program_rules(select):
+        findings.extend(rule_instance.check_program(context))
+    kept: List[Finding] = []
+    for finding in findings:
+        module = program.module_for_path(finding.path)
+        if module is not None and module.module.suppressed(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    return kept
+
+
+def analyze_sources(sources: Dict[str, str],
+                    select: Optional[Set[str]] = None) -> List[Finding]:
+    """Analyze in-memory ``{path: source}`` (the test entry point)."""
+    return analyze_program(Program.from_sources(sources), select)
+
+
+def analyze_paths(paths: Sequence[str],
+                  select: Optional[Set[str]] = None) -> List[Finding]:
+    """Discover ``.py`` files under ``paths`` and analyze them together."""
+    return analyze_program(Program.from_paths(paths), select)

@@ -1,0 +1,275 @@
+"""Interprocedural effect inference (rules SIM009-SIM011).
+
+Each function gets a set of *intrinsic* effects found by AST scan --
+wall-clock reads, draws from unseeded/global RNGs, ambient environment
+access (env vars, filesystem, ``global`` mutation) -- which then
+propagate caller-ward over the call graph to a fixpoint.  A finding fires
+when a simulation root (``SimSystem.run`` or any callback scheduled on an
+engine) can transitively reach an effect.
+
+The effect lattice is the powerset of ``{WALLCLOCK, RNG, AMBIENT}``
+ordered by inclusion; propagation is monotone union, so the fixpoint is
+reached in at most ``len(lattice) * |functions|`` rounds (in practice a
+handful).
+
+``repro/runner/wallclock.py`` is the sanctioned cut point: effects
+intrinsic to it never propagate (that is the module's whole purpose --
+one grep-able, pragma'd wall-clock access point).  Individual sites can
+also be waived with ``# simlint: disable=SIM009`` (etc.) on the line of
+the effectful call, exactly like the per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .symbols import FunctionInfo, Program, _dotted
+
+# -- effect kinds -------------------------------------------------------
+
+WALLCLOCK = "wall-clock"
+RNG = "unseeded-rng"
+AMBIENT = "ambient-state"
+
+#: effect kind -> whole-program rule id that reports it
+RULE_FOR_EFFECT = {WALLCLOCK: "SIM009", RNG: "SIM010", AMBIENT: "SIM011"}
+
+_TIME_ATTRS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                         "perf_counter", "perf_counter_ns",
+                         "process_time", "process_time_ns", "sleep"})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_GLOBAL_RANDOM = frozenset({"random", "randint", "randrange", "choice",
+                            "choices", "shuffle", "sample", "uniform",
+                            "gauss", "normalvariate", "betavariate",
+                            "expovariate", "seed", "getrandbits",
+                            "triangular"})
+_OS_FS = frozenset({"remove", "unlink", "rename", "replace", "makedirs",
+                    "mkdir", "rmdir", "listdir", "scandir", "getcwd",
+                    "urandom", "getenv", "putenv"})
+
+
+class EffectSite(NamedTuple):
+    """Where an intrinsic effect happens (for anchoring and messages)."""
+
+    kind: str
+    func_qualname: str
+    path: str
+    lineno: int
+    end_lineno: int
+    description: str
+
+
+class EffectAnalysis:
+    """Intrinsic scan + transitive propagation + root reachability."""
+
+    def __init__(self, program: Program, graph: CallGraph,
+                 cut_modules: Tuple[str, ...] = ("runner.wallclock",),
+                 exempt_parts: Iterable[str] = ("experiments",
+                                                "benchmarks", "analysis"),
+                 ) -> None:
+        self.program = program
+        self.graph = graph
+        self.cut_modules = cut_modules
+        self.exempt_parts = frozenset(exempt_parts)
+        #: qualname -> {kind: originating EffectSite}
+        self.intrinsic: Dict[str, Dict[str, EffectSite]] = {}
+        #: qualname -> {kind: (site, via_qualname_or_None)}
+        self.effects: Dict[str, Dict[str, Tuple[EffectSite,
+                                                Optional[str]]]] = {}
+        self._scan_intrinsic()
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    # intrinsic effects
+
+    def _is_cut(self, func: FunctionInfo) -> bool:
+        return any(func.module.name.endswith(cut)
+                   for cut in self.cut_modules)
+
+    def _scan_intrinsic(self) -> None:
+        for func in self.program.all_functions():
+            if self._is_cut(func):
+                self.intrinsic[func.qualname] = {}
+                continue
+            sites: Dict[str, EffectSite] = {}
+            for kind, node, description in _intrinsic_effects(func):
+                rule_id = RULE_FOR_EFFECT[kind]
+                anchor = _pseudo_finding(func, node, rule_id)
+                if func.module.module.suppressed(anchor):
+                    continue
+                sites.setdefault(kind, EffectSite(
+                    kind, func.qualname, func.module.path,
+                    getattr(node, "lineno", 1),
+                    getattr(node, "end_lineno", 0) or 0, description))
+            self.intrinsic[func.qualname] = sites
+
+    # ------------------------------------------------------------------
+    # propagation (callee effects flow into callers)
+
+    def _propagate(self) -> None:
+        effects: Dict[str, Dict[str, Tuple[EffectSite, Optional[str]]]] = {
+            qualname: {kind: (site, None)
+                       for kind, site in sites.items()}
+            for qualname, sites in self.intrinsic.items()}
+        changed = True
+        while changed:
+            changed = False
+            for site_list in self.graph.sites:
+                caller = site_list.caller.qualname
+                callee = site_list.callee.qualname
+                if self._is_cut(site_list.callee):
+                    continue
+                for kind, (origin, _via) in effects.get(callee,
+                                                        {}).items():
+                    if kind not in effects.setdefault(caller, {}):
+                        effects[caller][kind] = (origin, callee)
+                        changed = True
+        self.effects = effects
+
+    # ------------------------------------------------------------------
+    # roots
+
+    def roots(self) -> List[FunctionInfo]:
+        """Simulation entry points: ``SimSystem.run`` and every scheduled
+        callback defined outside the exempt directories."""
+        found: Dict[str, FunctionInfo] = {}
+        for cls in self.program.classes_named("SimSystem"):
+            run = cls.methods.get("run")
+            if run is not None:
+                found[run.qualname] = run
+        for callback, _site in self.graph.scheduled_callbacks():
+            if self._exempt(callback):
+                continue
+            found.setdefault(callback.qualname, callback)
+        return [found[name] for name in sorted(found)]
+
+    def _exempt(self, func: FunctionInfo) -> bool:
+        parts = set(func.module.module.parts)
+        return bool(parts & self.exempt_parts)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def violations(self) -> List[Tuple[EffectSite, List[str]]]:
+        """(effect site, root->effect chain) for every reachable effect.
+
+        One entry per distinct effect site; the chain is a witness, not
+        an enumeration of every path.
+        """
+        reachable = self.graph.reachable_from(self.roots())
+        seen: Set[Tuple[str, str, int]] = set()
+        out: List[Tuple[EffectSite, List[str]]] = []
+        for qualname in sorted(reachable):
+            for kind, (origin, _via) in sorted(
+                    self.effects.get(qualname, {}).items()):
+                key = (origin.kind, origin.path, origin.lineno)
+                if key in seen:
+                    continue
+                # only report each effect once, at the function whose
+                # chain to the intrinsic site is shortest: prefer the
+                # site's own function when reachable.
+                if origin.func_qualname in reachable \
+                        and qualname != origin.func_qualname:
+                    continue
+                seen.add(key)
+                chain = self.graph.witness_path(reachable, qualname)
+                if qualname != origin.func_qualname:
+                    chain = chain + self._tail_to_origin(qualname, origin)
+                out.append((origin, chain))
+        return out
+
+    def _tail_to_origin(self, start: str,
+                        origin: EffectSite) -> List[str]:
+        """Call chain from ``start`` down to the intrinsic site's function."""
+        tail: List[str] = []
+        current = start
+        guard = 0
+        while current != origin.func_qualname and guard < 50:
+            guard += 1
+            advanced = False
+            for site in self.graph.calls_from(current):
+                callee = site.callee.qualname
+                if origin.kind in self.effects.get(callee, {}):
+                    tail.append(callee)
+                    current = callee
+                    advanced = True
+                    break
+            if not advanced:
+                break
+        return tail
+
+
+# ----------------------------------------------------------------------
+# the per-function intrinsic scan
+
+
+def _intrinsic_effects(func: FunctionInfo
+                       ) -> Iterable[Tuple[str, ast.AST, str]]:
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "time" \
+                    and parts[1] in _TIME_ATTRS:
+                yield WALLCLOCK, node, f"{dotted}() reads the wall clock"
+            elif parts[-1] in _DATETIME_ATTRS and len(parts) >= 2 \
+                    and parts[-2] in ("datetime", "date"):
+                yield WALLCLOCK, node, f"{dotted}() reads the wall clock"
+            elif dotted in ("os.environ",):
+                yield AMBIENT, node, "os.environ reads ambient state"
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            parts = dotted.split(".")
+            if dotted == "random.Random" and not node.args \
+                    and not node.keywords:
+                yield RNG, node, ("random.Random() without a seed is "
+                                  "nondeterministic")
+            elif len(parts) == 2 and parts[0] == "random" \
+                    and parts[1] in _GLOBAL_RANDOM:
+                yield RNG, node, f"{dotted}() uses the process-global RNG"
+            elif parts[-2:] == ["random", "default_rng"] and not node.args \
+                    and not node.keywords:
+                yield RNG, node, "default_rng() without a seed"
+            elif len(parts) >= 2 and parts[-2] == "random" \
+                    and parts[0] in ("np", "numpy"):
+                yield RNG, node, f"{dotted}() uses numpy's global RNG"
+            elif dotted in ("os.urandom", "uuid.uuid4", "uuid.uuid1",
+                            "secrets.token_bytes", "secrets.token_hex",
+                            "secrets.randbelow"):
+                yield RNG, node, f"{dotted}() is entropy-seeded"
+            elif dotted == "open" or dotted == "os.getenv" \
+                    or (len(parts) == 2 and parts[0] == "os"
+                        and parts[1] in _OS_FS):
+                yield AMBIENT, node, (f"{dotted}() touches the ambient "
+                                      f"environment")
+        elif isinstance(node, ast.Global):
+            # `global X` only matters if the function also rebinds X
+            rebound = _rebinds(func.node, set(node.names))
+            if rebound:
+                yield AMBIENT, node, (f"mutates module global(s) "
+                                      f"{', '.join(sorted(rebound))}")
+
+
+def _rebinds(func_node: ast.AST, names: Set[str]) -> Set[str]:
+    rebound: Set[str] = set()
+    for node in ast.walk(func_node):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in names:
+                rebound.add(target.id)
+    return rebound
+
+
+def _pseudo_finding(func: FunctionInfo, node: ast.AST, rule_id: str):
+    """A minimal Finding-shaped object for pragma checks."""
+    from ..findings import Finding, Severity
+    return Finding(
+        rule=rule_id, severity=Severity.ERROR, path=func.module.path,
+        line=getattr(node, "lineno", 1), col=1, message="",
+        end_line=getattr(node, "end_lineno", 0) or 0)

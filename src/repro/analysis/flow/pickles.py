@@ -1,0 +1,271 @@
+"""Checkpoint/pickle safety (rules SIM013-SIM014).
+
+The resilience subsystem's contract is that ``SimSystem.save_checkpoint``
+pickles the *entire* simulator object graph and a resumed run is
+bit-identical.  Two statically checkable properties keep that true:
+
+**SIM013 -- slot-consistent reachable state.**  Every class whose
+instances the checkpoint pickler can reach from a ``SimSystem`` must
+declare ``__slots__`` (directly, or ``@dataclass(slots=True)``), and
+every attribute the class ever assigns on ``self`` must appear in the
+slot set of its MRO.  Slotless classes make the hot object graph bigger
+and slower, and -- worse -- accept silent dynamic attributes that a
+refactored resume path would drop; a slotted class assigning an
+undeclared attribute is a straight ``AttributeError`` waiting in a cold
+path.  Reachability is computed over inferred attribute types,
+constructor annotations, classes instantiated inside reachable methods,
+and the subclass closure (a ``scheduler: MemorySchedulerProtocol``
+annotation pulls in every registered policy).
+
+**SIM014 -- importable JobSpec callables.**  A ``JobSpec`` travels to
+worker processes as a ``module:qualname`` string; lambdas, nested
+functions and bound methods do not survive the trip.  Call sites whose
+``fn`` argument cannot round-trip are flagged, and literal
+``"module:qualname"`` strings naming a module inside the analyzed
+program are verified to resolve to a module-level callable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from .callgraph import CallGraph, JobSpecSite
+from .symbols import ClassInfo, FunctionInfo, Program, _dotted
+
+#: class names whose instances root the checkpoint object graph
+CHECKPOINT_ROOTS = ("SimSystem",)
+
+#: path components exempt from the slots discipline (driver-side code
+#: that is never inside a checkpointed object graph)
+SLOTS_EXEMPT_PARTS = frozenset({"experiments", "benchmarks", "analysis",
+                                "tests"})
+
+#: ancestors that make a class an exception type (always slotless-ok)
+_EXCEPTION_SUFFIXES = ("Error", "Exception", "Warning", "Interrupt")
+
+_CALLABLE_PATH = re.compile(r"^[A-Za-z_][\w.]*:[A-Za-z_]\w*$")
+
+
+class SlotFinding(NamedTuple):
+    cls: ClassInfo
+    kind: str          # "missing-slots" | "inconsistent-slots"
+    detail: str
+    chain: List[str]   # root -> ... -> class (containment witness)
+
+
+class JobSpecFinding(NamedTuple):
+    site: JobSpecSite
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# SIM013: reachable-class slot discipline
+
+
+class PickleReachability:
+    """Closure of classes the checkpoint pickler can reach."""
+
+    def __init__(self, program: Program, graph: CallGraph) -> None:
+        self.program = program
+        self.graph = graph
+        #: class qualname -> (ClassInfo, containment chain from a root)
+        self.reachable: Dict[str, Tuple[ClassInfo, List[str]]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        queue: List[ClassInfo] = []
+
+        def add(cls: ClassInfo, chain: List[str]) -> None:
+            if cls.qualname in self.reachable:
+                return
+            self.reachable[cls.qualname] = (cls, chain)
+            queue.append(cls)
+
+        for root_name in CHECKPOINT_ROOTS:
+            for cls in self.program.classes_named(root_name):
+                add(cls, [cls.qualname])
+        # A scheduled bound method drags its whole instance into the
+        # engine's pickled event queue -- the owning class is a root too.
+        for callback, _site in self.graph.scheduled_callbacks():
+            if callback.owner is not None:
+                add(callback.owner,
+                    [f"<event-queue>.{callback.qualname}",
+                     callback.owner.qualname])
+
+        while queue:
+            cls = queue.pop(0)
+            chain = self.reachable[cls.qualname][1]
+            for neighbour in self._neighbours(cls):
+                add(neighbour, chain + [neighbour.qualname])
+
+    def _neighbours(self, cls: ClassInfo) -> Iterable[ClassInfo]:
+        # 1. inferred instance-attribute types
+        for attr_type in self.graph.attr_types.get(cls.qualname,
+                                                   {}).values():
+            yield attr_type
+        # 2. program classes named in __init__ annotations (containers
+        #    included: Sequence[SourceLimiter] reaches SourceLimiter)
+        init = cls.methods.get("__init__")
+        if init is not None:
+            args = init.node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.annotation is not None:
+                    yield from self.graph.annotation_classes(
+                        cls.module, arg.annotation)
+        # 2b. dataclass field annotations
+        for annotation in cls.annotated_fields.values():
+            if annotation is not None:
+                yield from self.graph.annotation_classes(cls.module,
+                                                         annotation)
+        # 3. classes instantiated inside any method body
+        for method in cls.methods.values():
+            for created in self.graph.instantiations.get(
+                    method.qualname, []):
+                yield created
+        # 4. subclass closure: anything substitutable for a reachable base
+        yield from self.program.subclasses_of(cls)
+
+    # ------------------------------------------------------------------
+
+    def violations(self) -> List[SlotFinding]:
+        out: List[SlotFinding] = []
+        for qualname in sorted(self.reachable):
+            cls, chain = self.reachable[qualname]
+            if self._exempt(cls):
+                continue
+            if not cls.has_slots:
+                out.append(SlotFinding(
+                    cls, "missing-slots",
+                    f"class {cls.name} is reachable from the "
+                    f"{CHECKPOINT_ROOTS[0]} checkpoint graph but defines "
+                    f"no __slots__; instances accept dynamic attributes "
+                    f"a resume path can silently drop", chain))
+                continue
+            slots, all_known = self.program.mro_slots(cls)
+            if not all_known:
+                continue  # some ancestor grants __dict__; nothing to prove
+            assigned = cls.assigned_attrs()
+            declared = (slots | cls.class_attrs
+                        | set(cls.annotated_fields)
+                        | set(cls.methods) | self._inherited_names(cls))
+            extra = sorted(assigned - declared)
+            if extra:
+                out.append(SlotFinding(
+                    cls, "inconsistent-slots",
+                    f"class {cls.name} has __slots__ but assigns "
+                    f"attribute(s) {', '.join(extra)} not declared in any "
+                    f"__slots__ along its MRO", chain))
+        return out
+
+    def _inherited_names(self, cls: ClassInfo) -> Set[str]:
+        names: Set[str] = set()
+        seen: Set[str] = set()
+        stack = list(self.program.bases_of(cls))
+        while stack:
+            base = stack.pop()
+            if base.qualname in seen:
+                continue
+            seen.add(base.qualname)
+            names |= base.class_attrs | set(base.annotated_fields)
+            names |= set(base.methods)
+            stack.extend(self.program.bases_of(base))
+        return names
+
+    def _exempt(self, cls: ClassInfo) -> bool:
+        parts = set(cls.module.module.parts)
+        if parts & SLOTS_EXEMPT_PARTS:
+            return True
+        if any(name.split(".")[-1].endswith(_EXCEPTION_SUFFIXES)
+               for name in cls.base_names):
+            return True
+        if cls.name.endswith(_EXCEPTION_SUFFIXES):
+            return True
+        # NamedTuple / Enum / Protocol subclasses manage their own state
+        for name in cls.base_names:
+            tail = name.split(".")[-1]
+            if tail in ("NamedTuple", "Enum", "IntEnum", "StrEnum",
+                        "Protocol", "ABC", "type"):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# SIM014: importable JobSpec callables
+
+
+def jobspec_violations(program: Program,
+                       graph: CallGraph) -> List[JobSpecFinding]:
+    out: List[JobSpecFinding] = []
+    for site in graph.jobspec_sites:
+        expr = site.fn_expr
+        if expr is None:
+            continue
+        detail = _fn_expr_problem(program, site.caller, expr)
+        if detail is not None:
+            out.append(JobSpecFinding(site, detail))
+    return out
+
+
+def _fn_expr_problem(program: Program, caller: FunctionInfo,
+                     expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Lambda):
+        return ("a lambda cannot travel as module:qualname; workers "
+                "cannot import it")
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _string_path_problem(program, expr.value)
+    if isinstance(expr, ast.Name):
+        # a nested def or a local lambda assignment?
+        problem = _local_binding_problem(caller, expr.id)
+        if problem is not None:
+            return problem
+        symbol = program.resolve(caller.module, expr.id)
+        if isinstance(symbol, FunctionInfo) and symbol.is_method:
+            return (f"{expr.id} is a method; workers can only import "
+                    f"module-level callables")
+        return None
+    if isinstance(expr, ast.Attribute):
+        dotted = _dotted(expr)
+        head = dotted.split(".")[0]
+        if head in ("self", "cls"):
+            return (f"{dotted} is a bound method; it cannot be imported "
+                    f"by module:qualname in a worker")
+        symbol = program.resolve(caller.module, dotted)
+        if isinstance(symbol, FunctionInfo) and symbol.is_method:
+            return (f"{dotted} resolves to a method, not a module-level "
+                    f"callable")
+        return None
+    return None
+
+
+def _local_binding_problem(caller: FunctionInfo,
+                           name: str) -> Optional[str]:
+    for node in ast.walk(caller.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not caller.node and node.name == name:
+            return (f"{name} is a nested function; it has no importable "
+                    f"module:qualname and may capture closure state")
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == name
+                        for t in node.targets) \
+                and isinstance(node.value, ast.Lambda):
+            return f"{name} is bound to a lambda; workers cannot import it"
+    return None
+
+
+def _string_path_problem(program: Program, path: str) -> Optional[str]:
+    if ":" not in path:
+        return (f"callable path {path!r} is malformed (expected "
+                f"'module:qualname')")
+    if not _CALLABLE_PATH.match(path):
+        return (f"callable path {path!r} cannot name a module-level "
+                f"callable")
+    module_name, _, qualname = path.partition(":")
+    module = program.modules.get(module_name)
+    if module is None:
+        return None  # external module: not statically checkable
+    if qualname in module.functions or qualname in module.classes:
+        return None
+    return (f"{module_name} defines no module-level callable "
+            f"{qualname!r}; resolve_callable() will fail in the worker")

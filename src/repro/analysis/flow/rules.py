@@ -1,0 +1,138 @@
+"""Whole-program rules SIM009-SIM014.
+
+Thin adapters from the analysis passes (:mod:`effects`, :mod:`cycles`,
+:mod:`pickles`) to :class:`~repro.analysis.findings.Finding` objects.
+Each finding is anchored at the *defect* (the effectful call, the
+schedule site, the class statement), with the interprocedural witness
+chain in the message so a reader can see why a line nowhere near a
+simulator is being blamed for breaking one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import rule
+from .driver import ProgramContext, ProgramRule
+from .effects import AMBIENT, RNG, WALLCLOCK
+from .pickles import jobspec_violations
+
+
+class _EffectRule(ProgramRule):
+    """Shared reporting for the three effect kinds."""
+
+    kind = ""
+
+    def check_program(self, context: ProgramContext) -> Iterable[Finding]:
+        for site, chain in context.effects.violations():
+            if site.kind != self.kind:
+                continue
+            witness = " -> ".join(chain) if chain else site.func_qualname
+            yield Finding(
+                rule=self.id, severity=self.severity, path=site.path,
+                line=site.lineno, col=1,
+                message=(f"{site.description}; reachable from a "
+                         f"simulation root via {witness}"),
+                fix_hint=self.fix_hint,
+                snippet=context.snippet(site.path, site.lineno),
+                end_line=site.end_lineno)
+
+
+@rule
+class WallClockReachableRule(_EffectRule):
+    id = "SIM009"
+    severity = Severity.ERROR
+    title = "wall-clock read reachable from a simulation root"
+    fix_hint = ("route timing through repro.runner.wallclock, or take "
+                "cycles from the engine")
+    kind = WALLCLOCK
+
+
+@rule
+class UnseededRngReachableRule(_EffectRule):
+    id = "SIM010"
+    severity = Severity.ERROR
+    title = "unseeded/global RNG reachable from a simulation root"
+    fix_hint = ("thread a seeded random.Random(seed) from the config "
+                "into every stochastic component")
+    kind = RNG
+
+
+@rule
+class AmbientStateReachableRule(_EffectRule):
+    id = "SIM011"
+    severity = Severity.ERROR
+    title = "ambient environment access reachable from a simulation root"
+    fix_hint = ("read env/files in the driver layer and pass values in; "
+                "make module globals immutable")
+    kind = AMBIENT
+
+
+@rule
+class InterproceduralCycleTaintRule(ProgramRule):
+    id = "SIM012"
+    severity = Severity.ERROR
+    title = "schedule cycle argument float-tainted through dataflow"
+    fix_hint = ("convert at the source with // or "
+                "repro.dram.timing helpers so the schedule site "
+                "receives an int")
+
+    def check_program(self, context: ProgramContext) -> Iterable[Finding]:
+        for site, reason in context.cycles.violations():
+            path = site.caller.module.path
+            yield Finding(
+                rule=self.id, severity=self.severity, path=path,
+                line=site.node.lineno, col=site.node.col_offset + 1,
+                message=(f"cycle argument of {site.name}() in "
+                         f"{site.caller.qualname} is float-tainted "
+                         f"through dataflow: {reason.description} "
+                         f"(line {reason.lineno})"),
+                fix_hint=self.fix_hint,
+                snippet=context.snippet(path, site.node.lineno),
+                end_line=(site.node.end_lineno or 0))
+
+
+@rule
+class CheckpointSlotsRule(ProgramRule):
+    id = "SIM013"
+    severity = Severity.WARNING
+    title = "checkpoint-reachable class with missing/inconsistent __slots__"
+    fix_hint = ("declare __slots__ (or @dataclass(slots=True)) covering "
+                "every attribute the class assigns")
+
+    def check_program(self, context: ProgramContext) -> Iterable[Finding]:
+        for slot_finding in context.pickles.violations():
+            cls = slot_finding.cls
+            chain = " -> ".join(slot_finding.chain)
+            yield Finding(
+                rule=self.id, severity=self.severity,
+                path=cls.module.path, line=cls.node.lineno, col=1,
+                message=f"{slot_finding.detail} (reached via {chain})",
+                fix_hint=self.fix_hint,
+                snippet=context.snippet(cls.module.path, cls.node.lineno),
+                end_line=0)
+
+
+@rule
+class JobSpecImportabilityRule(ProgramRule):
+    id = "SIM014"
+    severity = Severity.ERROR
+    title = "JobSpec callable not importable by module:qualname"
+    fix_hint = ("pass a module-level function (or its 'module:qualname' "
+                "string); lift lambdas and methods to module scope")
+
+    def check_program(self, context: ProgramContext) -> Iterable[Finding]:
+        for job_finding in jobspec_violations(context.program,
+                                              context.graph):
+            site = job_finding.site
+            path = site.caller.module.path
+            yield Finding(
+                rule=self.id, severity=self.severity, path=path,
+                line=site.node.lineno, col=site.node.col_offset + 1,
+                message=(f"JobSpec callable in {site.caller.qualname} "
+                         f"cannot round-trip to a worker: "
+                         f"{job_finding.detail}"),
+                fix_hint=self.fix_hint,
+                snippet=context.snippet(path, site.node.lineno),
+                end_line=(site.node.end_lineno or 0))

@@ -83,3 +83,4 @@ def _ensure_builtin_rules() -> None:
     # Import for the registration side effect; deferred to dodge the
     # rules -> findings -> registry import cycle at package init.
     from . import rules  # noqa: F401
+    from .flow import rules as flow_rules  # noqa: F401

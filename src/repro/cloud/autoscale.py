@@ -29,7 +29,7 @@ from ..core.shaper import MittsShaper
 from ..sim.system import SimSystem
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduleRule:
     """'Add ``delta`` credits to ``bin_index`` between start and end.'"""
 
@@ -55,7 +55,7 @@ class ScheduleRule:
 TRIGGER_METRICS = ("request_rate", "stall_fraction", "work_rate")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TriggerRule:
     """'When ``metric`` crosses ``threshold``, do ``action``.'
 
@@ -92,10 +92,14 @@ class TriggerRule:
 class AutoScaler:
     """Evaluates a tenant's rules each epoch and rewrites its shaper."""
 
+    __slots__ = ("system", "core_id", "base_config", "schedules",
+                 "triggers", "epoch", "_snapshot", "_trigger_cooldowns",
+                 "events", "_installed")
+
     def __init__(self, system: SimSystem, core_id: int,
                  base_config: BinConfig,
-                 schedules: List[ScheduleRule] = None,
-                 triggers: List[TriggerRule] = None,
+                 schedules: Optional[List[ScheduleRule]] = None,
+                 triggers: Optional[List[TriggerRule]] = None,
                  epoch: int = 5_000) -> None:
         if epoch < 1:
             raise ValueError("epoch must be >= 1")

@@ -14,7 +14,7 @@ Implements the three comparisons of Sections IV-F and IV-G:
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.bins import BinConfig, BinSpec
 from ..core.config_space import static_configs
@@ -45,8 +45,9 @@ def perf_per_cost(work: float, config: BinConfig,
 
 
 def best_static_config(trace, system_config: SystemConfig, cycles: int,
-                       spec: BinSpec = None,
-                       objective: Callable[[float, BinConfig], float] = None,
+                       spec: Optional[BinSpec] = None,
+                       objective: Optional[Callable[[float, BinConfig],
+                                                    float]] = None,
                        max_credits: int = 64
                        ) -> Tuple[BinConfig, float]:
     """Search all single-bin configurations for the best objective value.
@@ -60,7 +61,7 @@ def best_static_config(trace, system_config: SystemConfig, cycles: int,
         spec = BinSpec()
     if objective is None:
         objective = perf_per_cost
-    best: Tuple[BinConfig, float] = (None, float("-inf"))
+    best: Tuple[Optional[BinConfig], float] = (None, float("-inf"))
     for config in static_configs(spec, max_credits=max_credits):
         stats = run_with_configs([trace], [config], system_config, cycles)
         work = stats.cores[0].work_cycles
@@ -73,7 +74,8 @@ def best_static_config(trace, system_config: SystemConfig, cycles: int,
 
 
 def even_split_configs(spec: BinSpec, num_cores: int,
-                       total_credits: int, bin_index: int = None
+                       total_credits: int,
+                       bin_index: Optional[int] = None
                        ) -> List[BinConfig]:
     """Static even split: every core gets the same single-rate allocation."""
     if bin_index is None:
@@ -85,7 +87,8 @@ def even_split_configs(spec: BinSpec, num_cores: int,
 
 def heterogeneous_static_configs(spec: BinSpec, demands: Sequence[float],
                                  total_credits: int,
-                                 bin_index: int = None) -> List[BinConfig]:
+                                 bin_index: Optional[int] = None
+                                 ) -> List[BinConfig]:
     """Static heterogeneous split: per-core shares proportional to demand.
 
     ``demands`` are each program's measured alone request rates; the

@@ -19,6 +19,7 @@ bins, deeper pending tables) can be costed.
 from __future__ import annotations
 
 import math
+from typing import Optional
 from dataclasses import dataclass
 
 from .bins import BinSpec
@@ -88,7 +89,8 @@ class MittsAreaModel:
         per_bit = PUBLISHED_AREA_MM2 / reference.total_equivalent_bits
         return self.total_equivalent_bits * per_bit
 
-    def core_fraction(self, core_area_mm2: float = None) -> float:
+    def core_fraction(self,
+                      core_area_mm2: Optional[float] = None) -> float:
         """MITTS area as a fraction of a core.
 
         With no argument, the reference core area is back-derived from the

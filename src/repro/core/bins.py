@@ -20,7 +20,7 @@ average-interval / average-bandwidth maths used throughout Section IV.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 #: paper default: ten bins of ten CPU cycles each
@@ -30,7 +30,7 @@ DEFAULT_INTERVAL_LENGTH = 10
 DEFAULT_MAX_CREDITS = 1024
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinSpec:
     """Geometry of the shaper's bins: how inter-arrival time is quantised.
 
@@ -85,7 +85,7 @@ class BinSpec:
         return line_bytes / self.center(index)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinConfig:
     """A bin geometry plus a concrete credit allocation ``K``.
 
@@ -110,7 +110,7 @@ class BinConfig:
 
     @classmethod
     def from_credits(cls, credits: Sequence[int],
-                     spec: BinSpec = None) -> "BinConfig":
+                     spec: Optional[BinSpec] = None) -> "BinConfig":
         """Convenience constructor; defaults to the paper's 10x10 geometry."""
         if spec is None:
             spec = BinSpec()
@@ -118,7 +118,7 @@ class BinConfig:
 
     @classmethod
     def single_bin(cls, index: int, credits: int,
-                   spec: BinSpec = None) -> "BinConfig":
+                   spec: Optional[BinSpec] = None) -> "BinConfig":
         """A static configuration: all credits in one bin (Section IV-G3)."""
         if spec is None:
             spec = BinSpec()
@@ -127,7 +127,7 @@ class BinConfig:
         return cls(spec=spec, credits=tuple(vector))
 
     @classmethod
-    def unlimited(cls, spec: BinSpec = None) -> "BinConfig":
+    def unlimited(cls, spec: Optional[BinSpec] = None) -> "BinConfig":
         """Effectively unshaped: max credits in the fastest bin.
 
         Any request may spend a bin-0 credit (its inter-arrival time is
@@ -166,7 +166,7 @@ class BinConfig:
         weighted = sum(n * t for n, t in zip(self.credits, self.spec.centers))
         return weighted / total
 
-    def average_bandwidth(self, period: int = None,
+    def average_bandwidth(self, period: Optional[int] = None,
                           line_bytes: int = 64) -> float:
         """Average bytes/cycle the configuration permits over a period.
 

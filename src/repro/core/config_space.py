@@ -15,7 +15,7 @@ the single-bin static configurations searched in Section IV-G3.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from .bins import BinConfig, BinSpec
 
@@ -197,7 +197,9 @@ def _move_credit(vector: List[int], from_slow: bool,
     return True
 
 
-def static_configs(spec: BinSpec, max_credits: int = None) -> Iterator[BinConfig]:
+def static_configs(spec: BinSpec,
+                   max_credits: Optional[int] = None
+                   ) -> Iterator[BinConfig]:
     """All single-bin configurations (the Section IV-G3 baseline space).
 
     Yields configurations with ``c`` credits in exactly one bin for every

@@ -26,6 +26,10 @@ from ..sim.system import SimSystem
 class CongestionController:
     """Watches MC queue depth and proportionally throttles all shapers."""
 
+    __slots__ = ("system", "epoch", "high_water", "low_water",
+                 "scale_down", "recover", "floor", "nominal",
+                 "current_scale", "scale_down_events", "_peak_since_tick")
+
     def __init__(self, system: SimSystem, epoch: int = 2_000,
                  high_water: int = 24, low_water: int = 8,
                  scale_down: float = 0.7, recover: float = 1.2,

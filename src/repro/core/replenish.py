@@ -14,6 +14,8 @@ a stalled request might become issuable again.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .bins import BinConfig
 from .credits import CreditState
 
@@ -27,7 +29,9 @@ class ReplenishPolicy:
     the short-term congestion Section III-C discusses.
     """
 
-    def __init__(self, config: BinConfig, period: int = None,
+    __slots__ = ("period", "_next")
+
+    def __init__(self, config: BinConfig, period: Optional[int] = None,
                  phase: int = 0) -> None:
         self.period = period if period is not None else config.replenish_period()
         if self.period < 1:
@@ -62,6 +66,8 @@ class ResetReplenisher(ReplenishPolicy):
     collapses into a single reset; only the clock needs to catch up.
     """
 
+    __slots__ = ()
+
     def apply_until(self, state: CreditState, now: int) -> None:
         if now < self._next:
             return
@@ -87,7 +93,9 @@ class RateReplenisher(ReplenishPolicy):
     Algorithm 1's reset.
     """
 
-    def __init__(self, config: BinConfig, period: int = None,
+    __slots__ = ("slices", "_slice_period", "_slice_index")
+
+    def __init__(self, config: BinConfig, period: Optional[int] = None,
                  slices: int = 8, phase: int = 0) -> None:
         super().__init__(config, period)
         if slices < 1:

@@ -56,6 +56,8 @@ class AddressMapper:
 
     SCHEMES = ("row", "bank")
 
+    __slots__ = ("timing", "scheme", "columns_per_row", "_pow2")
+
     def __init__(self, timing: DramTiming, scheme: str = "row") -> None:
         if scheme not in self.SCHEMES:
             raise ValueError(f"unknown mapping scheme {scheme!r}; "

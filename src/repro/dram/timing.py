@@ -26,7 +26,7 @@ def _mem_clocks(n: float) -> int:
     return max(1, round(n * CPU_CYCLES_PER_MEM_CLOCK))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramTiming:
     """DRAM timing in CPU cycles plus geometry, Table II defaults."""
 

@@ -114,7 +114,10 @@ class _EventBomb:
 
     def __call__(self) -> None:
         if not os.path.exists(self.marker_path):
-            with open(self.marker_path, "w", encoding="utf-8") as handle:
+            # The marker file IS the fault model: it must survive the
+            # checkpoint/restore boundary, which simulator state cannot.
+            with open(self.marker_path, "w",  # simlint: disable=SIM011
+                      encoding="utf-8") as handle:
                 handle.write("detonated")
             raise ChaosFault(f"event bomb detonated "
                              f"(marker {self.marker_path!r})")

@@ -49,7 +49,7 @@ class StarvationError(RuntimeError):
         return (type(self), (self.args[0], self.diagnostics))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WatchdogConfig:
     """Forward-progress thresholds, in simulated cycles.
 

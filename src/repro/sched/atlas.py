@@ -23,6 +23,9 @@ class AtlasScheduler(MemoryScheduler):
 
     name = "ATLAS"
 
+    __slots__ = ("quantum", "decay", "attained", "_this_quantum",
+                 "_quantum_end", "_order")
+
     def __init__(self, num_cores: int, quantum: int = 20_000,
                  decay: float = 0.875) -> None:
         super().__init__(num_cores)

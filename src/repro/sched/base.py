@@ -24,6 +24,8 @@ class MemoryScheduler(MemorySchedulerProtocol):
 
     name = "base"
 
+    __slots__ = ("num_cores", "serviced")
+
     def __init__(self, num_cores: int) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
@@ -68,6 +70,8 @@ class FcfsScheduler(MemoryScheduler):
 
     name = "FCFS"
 
+    __slots__ = ()
+
     def select(self, queue, now, controller):
         return self.oldest(queue)
 
@@ -81,6 +85,8 @@ class FrFcfsScheduler(MemoryScheduler):
     """
 
     name = "FR-FCFS"
+
+    __slots__ = ()
 
     def select(self, queue, now, controller):
         return self.row_hit_first(queue, controller)

@@ -11,7 +11,7 @@ as little throughput as possible.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..sim.memctrl import MemoryController
 from ..sim.request import MemoryRequest
@@ -23,7 +23,10 @@ class FairQueueScheduler(MemoryScheduler):
 
     name = "FairQueue"
 
-    def __init__(self, num_cores: int, shares: List[float] = None) -> None:
+    __slots__ = ("shares", "virtual_time", "_vnow", "_was_backlogged")
+
+    def __init__(self, num_cores: int,
+                 shares: Optional[List[float]] = None) -> None:
         super().__init__(num_cores)
         if shares is None:
             shares = [1.0] * num_cores

@@ -28,6 +28,11 @@ from ..sim.system import SimSystem
 class FstController:
     """Source-throttling feedback controller attached to a SimSystem."""
 
+    __slots__ = ("system", "epoch", "unfairness_threshold",
+                 "throttle_step", "release_step", "max_interval",
+                 "limiters", "_last_snapshot", "slowdown_estimates",
+                 "throttle_events")
+
     def __init__(self, system: SimSystem, epoch: int = 10_000,
                  unfairness_threshold: float = 1.08,
                  throttle_step: float = 1.5,

@@ -13,7 +13,7 @@ best-effort pool is first-come-first-served, which the evaluation exposes.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .base import MemoryScheduler
 
@@ -23,8 +23,11 @@ class MemGuardScheduler(MemoryScheduler):
 
     name = "MemGuard"
 
+    __slots__ = ("period", "guaranteed_fraction", "_budgets", "_used",
+                 "_period_end", "_auto_budget")
+
     def __init__(self, num_cores: int, period: int = 10_000,
-                 budgets: List[int] = None,
+                 budgets: Optional[List[int]] = None,
                  guaranteed_fraction: float = 0.5) -> None:
         super().__init__(num_cores)
         if period < 1:

@@ -26,8 +26,13 @@ class MiseScheduler(MemoryScheduler):
 
     name = "MISE"
 
+    __slots__ = ("epoch", "interval", "_interval_start", "_epoch_counts",
+                 "_epoch_start", "_epoch_index", "_alone_rate",
+                 "_shared_counts", "_shared_cycles", "slowdowns",
+                 "_priority_core")
+
     def __init__(self, num_cores: int, epoch: int = 10_000,
-                 interval: int = None) -> None:
+                 interval: Optional[int] = None) -> None:
         super().__init__(num_cores)
         if epoch < 1:
             raise ValueError("epoch must be >= 1")

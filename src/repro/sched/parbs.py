@@ -22,6 +22,8 @@ class ParbsScheduler(MemoryScheduler):
 
     name = "PAR-BS"
 
+    __slots__ = ("cap", "batches_formed", "_marked", "_rank")
+
     def __init__(self, num_cores: int, cap: int = 5) -> None:
         super().__init__(num_cores)
         if cap < 1:

@@ -17,7 +17,7 @@ otherwise it falls back to plain FR-FCFS for throughput.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..sim.request import MemoryRequest
 from .base import MemoryScheduler
@@ -27,6 +27,9 @@ class StfmScheduler(MemoryScheduler):
     """Stall-time fairness via slowdown-ratio thresholding."""
 
     name = "STFM"
+
+    __slots__ = ("alpha", "mlp", "_shared_time", "_alone_time",
+                 "_unloaded_latency")
 
     def __init__(self, num_cores: int, alpha: float = 1.1,
                  mlp: int = 4) -> None:
@@ -41,7 +44,7 @@ class StfmScheduler(MemoryScheduler):
         self._shared_time: List[float] = [0.0] * num_cores
         #: accumulated estimated alone-mode memory time per core
         self._alone_time: List[float] = [0.0] * num_cores
-        self._unloaded_latency: float = None
+        self._unloaded_latency: Optional[float] = None
 
     def _baseline(self, controller) -> float:
         if self._unloaded_latency is None:

@@ -16,7 +16,7 @@ quiet quantum can land in the latency cluster and be unfairly prioritised.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .base import MemoryScheduler
 
@@ -26,9 +26,14 @@ class TcmScheduler(MemoryScheduler):
 
     name = "TCM"
 
+    __slots__ = ("quantum", "shuffle_period", "cluster_thresh", "_rng",
+                 "_quantum_end", "_shuffle_end", "_serviced_this_quantum",
+                 "_rank", "_latency_cluster", "_bandwidth_cluster")
+
     def __init__(self, num_cores: int, quantum: int = 20_000,
                  shuffle_period: int = 800,
-                 cluster_thresh: float = None, seed: int = 7) -> None:
+                 cluster_thresh: Optional[float] = None,
+                 seed: int = 7) -> None:
         super().__init__(num_cores)
         if quantum < 1 or shuffle_period < 1:
             raise ValueError("quantum and shuffle_period must be >= 1")

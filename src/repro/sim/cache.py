@@ -26,7 +26,7 @@ def _shift_for(value: int) -> Optional[int]:
     return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheGeometry:
     """Size/associativity description of one cache level."""
 

@@ -134,6 +134,8 @@ class MemoryController:
 class MemorySchedulerProtocol:
     """Interface memory schedulers implement (see :mod:`repro.sched`)."""
 
+    __slots__ = ()
+
     def select(self, queue: List[MemoryRequest], now: int,
                controller: MemoryController) -> Optional[MemoryRequest]:
         raise NotImplementedError

@@ -24,6 +24,10 @@ from .engine import Engine
 class MeshNoc:
     """XY-routed 2D mesh with per-directed-link serialisation."""
 
+    __slots__ = ("engine", "tiles", "width", "hop_latency",
+                 "link_occupancy", "_link_free", "flits_routed",
+                 "total_hops")
+
     def __init__(self, engine: Engine, tiles: int, hop_latency: int = 2,
                  link_occupancy: int = 1) -> None:
         if tiles < 1:

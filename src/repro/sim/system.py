@@ -32,7 +32,7 @@ from .request import MemoryRequest, RequestIdAllocator
 from .stats import CoreStats, SystemStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemConfig:
     """Table II base configuration (single-program LLC is 64KB; mixes 1MB)."""
 
@@ -150,6 +150,8 @@ class _FcfsFallback(MemorySchedulerProtocol):
     resolved to the earliest-queued request), without an O(n) scan.
     """
 
+    __slots__ = ()
+
     def select(self, queue, now, controller):
         if not queue:
             return None
@@ -158,6 +160,10 @@ class _FcfsFallback(MemorySchedulerProtocol):
 
 class SimSystem:
     """A simulated multicore with per-core source limiters."""
+
+    __slots__ = ("config", "engine", "request_ids", "scheduler", "stats",
+                 "dram", "mc", "llc", "noc", "ports", "cores", "watchdog",
+                 "_started")
 
     def __init__(self, traces: Sequence,
                  config: Optional[SystemConfig] = None,

@@ -39,6 +39,8 @@ class _BlockedLimiter(SourceLimiter):
     """Releases nothing; used to hold other cores during measurement and
     to model the tuner's software overhead."""
 
+    __slots__ = ()
+
     def earliest_issue(self, now: int) -> Optional[int]:
         return None
 
@@ -52,7 +54,18 @@ class _BlockedLimiter(SourceLimiter):
 class OnlineGaTuner:
     """Figure 10's online GA attached to a live :class:`SimSystem`."""
 
-    def __init__(self, system: SimSystem, spec: BinSpec = None,
+    __slots__ = ("system", "spec", "objective", "generations",
+                 "population_size", "epoch", "elite", "mutation_rate",
+                 "max_per_bin", "overhead_cycles", "reconfigure_every",
+                 "repair", "_rng", "num_cores", "alone_rates",
+                 "best_genome", "best_fitness", "history",
+                 "config_phase_cycles", "run_phase_started_at",
+                 "work_at_run_phase", "software_invocations",
+                 "_population", "_scored", "_generation", "_child_index",
+                 "_snapshots", "_saved_limiters", "_phase_started_at",
+                 "configuring", "_phase_token")
+
+    def __init__(self, system: SimSystem, spec: Optional[BinSpec] = None,
                  objective: str = "throughput",
                  generations: int = 3, population: int = 6,
                  epoch: int = 4000, elite: int = 2,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseSample:
     """Behaviour vector for one observation window."""
 
@@ -27,7 +27,7 @@ class PhaseSample:
         return [self.request_rate, self.stall_fraction]
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseDetector:
     """Windowed phase-change detector over behaviour vectors.
 
@@ -93,6 +93,9 @@ class SystemPhaseMonitor:
     phase, and an optional callback fires on each change (the hook the
     phase-based online GA uses to trigger a new CONFIG_PHASE).
     """
+
+    __slots__ = ("system", "window", "on_change", "detectors",
+                 "_snapshots", "changes_at")
 
     def __init__(self, system, window: int = 5_000,
                  threshold: float = 0.6, confirm: int = 2,

@@ -1,0 +1,33 @@
+"""SIM009 fixture: a wall-clock read two calls below ``SimSystem.run``.
+
+Per-file SIM002 sees only this file's imports; the violation here is the
+*reachability*: ``run -> _helper -> _measure`` crosses two function
+boundaries before touching ``time.time()``.
+"""
+
+import time
+
+
+def _measure():
+    return time.time()  # VIOLATION
+
+
+def _helper():
+    return _measure()
+
+
+def _sanctioned_probe():
+    # Waived at the effect site, exactly like the per-file pragmas.
+    return time.monotonic()  # simlint: disable=SIM009
+
+
+class SimSystem:
+    __slots__ = ("cycles", "probe")
+
+    def __init__(self):
+        self.cycles = 0
+        self.probe = 0
+
+    def run(self, until):
+        self.cycles = _helper()
+        self.probe = _sanctioned_probe()

@@ -1,0 +1,37 @@
+"""SIM010 fixture: global RNG reached through a *scheduled callback*.
+
+The root here is not ``SimSystem.run`` -- it is ``Telemetry.sample``,
+which only becomes a simulation root because ``start`` hands it to
+``engine.schedule_in`` as a pre-bound callback.
+"""
+
+import random
+
+
+class Engine:
+    __slots__ = ()
+
+    def schedule_in(self, delay, callback):
+        pass
+
+
+def _jitter():
+    return random.randrange(4)  # VIOLATION
+
+
+def _seeded_fallback():
+    return random.choice([1, 2])  # simlint: disable=SIM010
+
+
+class Telemetry:
+    __slots__ = ("engine", "samples")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.samples = 0
+
+    def sample(self):
+        self.samples = _jitter() + _seeded_fallback()
+
+    def start(self):
+        self.engine.schedule_in(16, self.sample)

@@ -1,0 +1,30 @@
+"""SIM011 fixture: ambient filesystem/env access below ``SimSystem.run``.
+
+Reading a calibration file mid-run makes the result depend on the
+machine the simulation happens to run on; the driver layer should read
+it once and pass the values in.
+"""
+
+import os
+
+
+def _load_calibration(path):
+    with open(path) as handle:  # VIOLATION
+        return handle.read()
+
+
+def _debug_enabled():
+    return os.getenv("REPRO_DEBUG")  # simlint: disable=SIM011
+
+
+class SimSystem:
+    __slots__ = ("path", "table", "debug")
+
+    def __init__(self, path):
+        self.path = path
+        self.table = None
+        self.debug = False
+
+    def run(self, until):
+        self.table = _load_calibration(self.path)
+        self.debug = bool(_debug_enabled())

@@ -1,0 +1,26 @@
+"""SIM012 fixture: a float reaches a schedule site *through dataflow*.
+
+Per-file SIM003 cannot see this: the cycle argument is a plain name, and
+the division that taints it lives in a different function entirely.
+"""
+
+
+class Engine:
+    __slots__ = ()
+
+    def schedule(self, when, callback):
+        pass
+
+
+def _average_latency(samples):
+    return sum(samples) / len(samples)
+
+
+def _arm(engine: Engine, samples, callback):
+    delay = _average_latency(samples)
+    engine.schedule(delay, callback)  # VIOLATION
+
+
+def _arm_legacy(engine: Engine, samples, callback):
+    delay = _average_latency(samples)
+    engine.schedule(delay, callback)  # simlint: disable=SIM012

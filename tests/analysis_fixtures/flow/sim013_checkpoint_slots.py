@@ -1,0 +1,29 @@
+"""SIM013 fixture: a slotless class inside the checkpoint object graph.
+
+``StatCounters`` never appears in any resilience code -- it is reachable
+only because ``SimSystem.__init__`` stores one on ``self``, which is
+exactly what the pickler follows.
+"""
+
+
+class StatCounters:  # VIOLATION
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class DebugProbe:  # simlint: disable=SIM013
+    def __init__(self):
+        self.samples = []
+
+
+class SimSystem:
+    __slots__ = ("stats", "probe", "cycles")
+
+    def __init__(self):
+        self.stats = StatCounters()
+        self.probe = DebugProbe()
+        self.cycles = 0
+
+    def run(self, until):
+        self.cycles = until

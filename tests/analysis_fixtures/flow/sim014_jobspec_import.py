@@ -1,0 +1,29 @@
+"""SIM014 fixture: a JobSpec callable a worker process cannot import.
+
+A lambda has no ``module:qualname``; the spec serializes fine on the
+driver and then fails (or worse, silently closes over stale state) when
+the worker tries to resolve it.
+"""
+
+
+class JobSpec:
+    __slots__ = ()
+
+    @staticmethod
+    def create(name, fn, *args, **kwargs):
+        return (name, fn, args, kwargs)
+
+
+def sweep_point(value):
+    return value * 2
+
+
+def build_jobs():
+    good = JobSpec.create("ok", sweep_point, 1)
+    bad = JobSpec.create("bad", lambda value: value, 1)  # VIOLATION
+    return [good, bad]
+
+
+def build_legacy():
+    return JobSpec.create("legacy",  # simlint: disable=SIM014
+                          lambda value: value, 2)

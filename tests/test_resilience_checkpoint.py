@@ -157,7 +157,8 @@ class TestCheckpointFormat:
     def test_unpicklable_system_raises_checkpoint_error(self, tmp_path):
         system = _small_system()
         system.run(100)
-        system.not_picklable = lambda: None  # closure: cannot pickle
+        # a lambda in the event heap cannot pickle
+        system.engine.schedule_in(1, lambda: None)
         with pytest.raises(CheckpointError, match="not checkpointable"):
             save_checkpoint(system, tmp_path / "nope.ckpt")
         assert not (tmp_path / "nope.ckpt").exists()
