@@ -10,7 +10,7 @@ CACHE_DIR ?= .repro-cache
 RESULTS_DIR ?= results
 
 .PHONY: all lint analyze typecheck test test-contracts baseline rules \
-	bench bench-quick bench-figures sweep chaos
+	bench bench-quick bench-figures sweep chaos fabric-smoke
 
 all: lint analyze test
 
@@ -64,6 +64,13 @@ bench-figures:
 ## seeded fault-injection suite + checkpoint/resume selfcheck
 chaos:
 	$(PYTHON) -m repro.resilience --chaos --seed 7 --selfcheck
+
+## campaign-service acceptance run: serial drain vs two concurrent
+## worker pools with one killed mid-campaign; merged DBs must be
+## bit-identical (same scenario CI's fabric-smoke job runs)
+fabric-smoke:
+	$(PYTHON) -m repro.fabric selfcheck --workdir .fabric-smoke \
+		--num-jobs 24 --cycles 3000
 
 ## run every experiment in parallel with the result cache on;
 ## interrupted sweeps pick up where they left off (same invocation)

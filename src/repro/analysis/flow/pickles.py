@@ -227,8 +227,19 @@ def _fn_expr_problem(program: Program, caller: FunctionInfo,
         return None
     if isinstance(expr, ast.Attribute):
         dotted = _dotted(expr)
-        head = dotted.split(".")[0]
-        if head in ("self", "cls"):
+        parts = dotted.split(".")
+        if parts[0] in ("self", "cls"):
+            owner = caller.owner
+            if len(parts) == 2 and owner is not None:
+                if parts[1] in owner.methods:
+                    return (f"{dotted} is a bound method; it cannot be "
+                            f"imported by module:qualname in a worker")
+                if _annotation_is_str(
+                        owner.annotated_fields.get(parts[1])):
+                    # a declared str field carries a module:qualname
+                    # path, not a callable -- resolve_callable() checks
+                    # the path itself at runtime
+                    return None
             return (f"{dotted} is a bound method; it cannot be imported "
                     f"by module:qualname in a worker")
         symbol = program.resolve(caller.module, dotted)
@@ -237,6 +248,19 @@ def _fn_expr_problem(program: Program, caller: FunctionInfo,
                     f"callable")
         return None
     return None
+
+
+def _annotation_is_str(annotation: Optional[ast.expr]) -> bool:
+    """True for ``str`` and ``Optional[str]`` annotations."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "str"
+    if isinstance(annotation, ast.Constant):
+        return annotation.value == "str"
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return _annotation_is_str(annotation.slice)
+    return False
 
 
 def _local_binding_problem(caller: FunctionInfo,

@@ -145,6 +145,38 @@ def compare_to_baseline(results: Dict, baseline: Dict,
     }
 
 
+def with_history(document: Dict, previous: Optional[Dict],
+                 label: str) -> Dict:
+    """Append this run to the committed trajectory and carry it forward.
+
+    ``BENCH_sim.json`` doubles as a performance log: each labelled run
+    (``--label``) appends a compact entry -- label, mode, and per-workload
+    events/sec -- to a ``history`` list preserved from the previous
+    document, so the repo's committed copy records how simulator
+    throughput moved across changes, not just the latest number.  The
+    ``pre_change_baseline`` block (the hand-measured pre-fast-path
+    reference) is carried forward verbatim.
+    """
+    history = list(previous.get("history", [])) if previous else []
+    history.append({
+        "label": label,
+        "mode": document["mode"],
+        "workloads": {
+            name: {
+                "events_executed": result["events_executed"],
+                "events_per_second": result["events_per_second"],
+                "wall_seconds": result["wall_seconds"],
+            }
+            for name, result in document["workloads"].items()
+        },
+    })
+    merged = dict(document, history=history)
+    if previous and "pre_change_baseline" in previous:
+        merged.setdefault("pre_change_baseline",
+                          previous["pre_change_baseline"])
+    return merged
+
+
 def load_json(path: str) -> Dict:
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)

@@ -18,7 +18,7 @@ import sys
 from typing import List, Optional
 
 from . import (FULL_CYCLES, QUICK_CYCLES, WORKLOADS, compare_to_baseline,
-               dump_json, load_json, run_benchmarks)
+               dump_json, load_json, run_benchmarks, with_history)
 
 
 def _profile(workload_names: Optional[List[str]], quick: bool,
@@ -50,6 +50,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="result JSON path (default: %(default)s)")
     parser.add_argument("--no-output", action="store_true",
                         help="do not write the result JSON")
+    parser.add_argument("--label", default=None,
+                        help="append this run to the output file's "
+                             "committed history under LABEL")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compare events/sec against")
     parser.add_argument("--max-regression", type=float, default=0.30,
@@ -90,6 +93,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 1
 
     if not args.no_output:
+        if args.label is not None:
+            try:
+                previous = load_json(args.output)
+            except (OSError, ValueError):
+                previous = None
+            results = with_history(results, previous, args.label)
         dump_json(results, args.output)
         print(f"wrote {args.output}")
     return exit_code

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --all --jobs 4 --save-dir results
     python -m repro.experiments --all --jobs 4 --resume
     python -m repro.experiments --diff results/before results/after
+    python -m repro.experiments --all --campaign runs --campaign-seeds 1 2 3
 
 Parallelism (``--jobs N``) runs through :mod:`repro.runner`: with several
 experiments selected, the experiments themselves fan out across the
@@ -79,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "retried jobs resume partial work from here")
     sweep.add_argument("--no-progress", action="store_true",
                        help="suppress progress/ETA lines on stderr")
+    campaign = parser.add_argument_group("campaign service (repro.fabric)")
+    campaign.add_argument("--campaign", default=None, metavar="QUEUE_ROOT",
+                          help="run the selected experiments as a fabric "
+                               "campaign under this queue root: submit, "
+                               "help drain (other worker pools may join), "
+                               "then render results from the merged "
+                               "database")
+    campaign.add_argument("--campaign-seeds", type=int, nargs="+",
+                          default=None, metavar="SEED",
+                          help="seed axis of the campaign grid "
+                               "(default: just --seed)")
+    campaign.add_argument("--campaign-submit-only", action="store_true",
+                          help="submit the campaign and exit; drain it "
+                               "with python -m repro.fabric work")
     diff = parser.add_argument_group("regression diffing")
     diff.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
                       help="compare two --save-dir result directories "
@@ -113,20 +128,88 @@ def run_diff(before: str, after: str, tolerance: float) -> int:
         ["experiment", "metric", "before", "after", "change", "sig"],
         rows, title=f"Result diff: {before} -> {after} "
                     f"(tolerance {tolerance:.0%})"))
+    # Experiments present on only one side are regressions in their own
+    # right (a figure vanished, or the baseline never had it), reported
+    # the same way in both directions and always significant.
+    missing = len(report["only_before"]) + len(report["only_after"])
     for name in report["only_before"]:
-        print(f"note: {name} present only in {before}")
+        print(f"missing: {name} present only in {before}")
     for name in report["only_after"]:
-        print(f"note: {name} present only in {after}")
+        print(f"missing: {name} present only in {after}")
     if not report["experiments"]:
         print("note: no common experiment files to compare")
         return 1
-    print(f"{significant} significant change(s) across "
-          f"{len(report['experiments'])} experiment(s)")
-    return 1 if significant else 0
+    summary = (f"{significant} significant change(s) across "
+               f"{len(report['experiments'])} experiment(s)")
+    if missing:
+        summary += f", {missing} experiment(s) missing from one side"
+    print(summary)
+    return 1 if significant or missing else 0
 
 
 def _number(value) -> str:
     return "missing" if value is None else f"{value:.4f}"
+
+
+# ---------------------------------------------------------------------------
+# --campaign: route the sweep through the fabric
+
+
+def run_campaign(args, names) -> int:
+    """Submit the selected experiments as a fabric campaign and drain it.
+
+    The campaign is durable: killing this process loses nothing (its
+    leases lapse and any other ``python -m repro.fabric work`` pool --
+    or simply re-running this command -- picks the jobs back up).  The
+    final tables are re-rendered from the results database alone, which
+    is the same path ``python -m repro.fabric query --job`` uses.
+    """
+    from ..fabric import (CampaignQueue, DbError, ResultsDb,
+                          figure_manifest, work_campaign)
+
+    seeds = args.campaign_seeds or [args.seed]
+    manifest = figure_manifest(names, scale=args.scale, seeds=seeds,
+                               timeout=args.timeout, retries=args.retries)
+    queue = CampaignQueue.submit(args.campaign, manifest)
+    print(f"campaign {queue.campaign_id}: {queue.header()['num_jobs']} "
+          f"job(s) under {queue.directory}")
+    if args.campaign_submit_only:
+        print(f"drain with: python -m repro.fabric work {args.campaign} "
+              f"--campaign {queue.campaign_id}")
+        return 0
+
+    counters = work_campaign(queue, jobs=args.jobs,
+                             retries=args.retries,
+                             progress=not args.no_progress)
+    print(f"drained: {counters['done']} done, {counters['failed']} "
+          f"failed, {counters['stolen']} stolen")
+
+    failed = 0
+    with ResultsDb(f"{args.campaign}/results.sqlite") as db:
+        db.merge_queue(queue)
+        _headers, status_rows = db.query(
+            "SELECT job_id, status, error FROM results "
+            "WHERE campaign_id = ? ORDER BY job_index",
+            (queue.campaign_id,))
+        for job_id, status, error in status_rows:
+            if status != "done":
+                failed += 1
+                print(f"=== {job_id} FAILED: {error}")
+                print()
+                continue
+            try:
+                headers, rows, title = db.stored_result_rows(
+                    queue.campaign_id, job_id)
+            except DbError as exc:
+                print(f"=== {job_id}: {exc}")
+                print()
+                continue
+            print(f"=== {job_id}")
+            print(format_table(headers, rows, title=title))
+            print()
+        print(f"results database: {args.campaign}/results.sqlite "
+              f"(fingerprint {db.fingerprint(queue.campaign_id)[:16]})")
+    return 1 if failed or counters["failed"] else 0
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +277,9 @@ def main(argv=None) -> int:
                      f"known: {sorted(REGISTRY)}")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.campaign:
+        return run_campaign(args, names)
 
     cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.resume
                                    else None)

@@ -1,0 +1,64 @@
+"""``repro.fabric`` -- declarative simulation campaigns as a service.
+
+The experiment harness runs one sweep in one process; the paper's full
+evidence base (figure grids x seeds x scales, plus GA budgets) is more
+work than one process lifetime should own.  The fabric splits that into
+three durable, restartable pieces coordinated only through the
+filesystem:
+
+* :mod:`~repro.fabric.manifest` -- YAML/JSON campaign declarations that
+  expand deterministically into content-hashed
+  :class:`~repro.runner.jobspec.JobSpec` lists with stable campaign and
+  job identities.
+* :mod:`~repro.fabric.queue` -- a filesystem work queue with atomic
+  claims, lease timeouts, and work stealing, so any number of worker
+  pools (``python -m repro.fabric work``) drain one campaign
+  concurrently and a ``kill -9``'d pool's jobs are recovered -- resumed
+  from their checkpoints -- by the survivors.
+* :mod:`~repro.fabric.db` -- a SQLite results database rebuilt from the
+  queue in sorted job order, making the merged database a pure function
+  of the result set: any worker topology is bit-identical to a serial
+  drain, and :meth:`~repro.fabric.db.ResultsDb.fingerprint` proves it.
+
+``python -m repro.fabric`` (submit / work / status / query / plot /
+selfcheck) is the operator surface; :mod:`~repro.fabric.service` holds
+the drain loop and the GA batch adapter those commands share.
+"""
+
+from .db import DbError, ResultsDb, extract_metrics, write_csv
+from .manifest import (Manifest, ManifestError, Policy, figure_manifest,
+                       parse_manifest)
+from .plot import PlotError, render, render_svg, series_from_table
+from .queue import (DEFAULT_LEASE_SECONDS, RESULT_DONE, RESULT_FAILED,
+                    CampaignQueue, ClaimedJob, QueueError, find_campaign,
+                    list_campaigns)
+from .service import (FabricBatchEvaluator, default_worker_id,
+                      run_campaign_serial, work_campaign)
+
+__all__ = [
+    "CampaignQueue",
+    "ClaimedJob",
+    "DEFAULT_LEASE_SECONDS",
+    "DbError",
+    "FabricBatchEvaluator",
+    "Manifest",
+    "ManifestError",
+    "Policy",
+    "PlotError",
+    "QueueError",
+    "RESULT_DONE",
+    "RESULT_FAILED",
+    "ResultsDb",
+    "default_worker_id",
+    "extract_metrics",
+    "figure_manifest",
+    "find_campaign",
+    "list_campaigns",
+    "parse_manifest",
+    "render",
+    "render_svg",
+    "run_campaign_serial",
+    "series_from_table",
+    "work_campaign",
+    "write_csv",
+]

@@ -1,0 +1,293 @@
+"""Command-line entry point for the campaign fabric.
+
+Usage::
+
+    python -m repro.fabric submit sweep.yaml --queue-root runs
+    python -m repro.fabric work runs                  # drain (several OK)
+    python -m repro.fabric status runs --watch
+    python -m repro.fabric query runs --csv out.csv
+    python -m repro.fabric query runs --sql \\
+        "SELECT name, value FROM metrics JOIN campaigns USING (campaign_id)"
+    python -m repro.fabric plot runs -x seed -y row_hit_rate -o fig.svg
+    python -m repro.fabric selfcheck --workdir /tmp/fabric-check
+
+``submit`` expands a manifest once; ``work`` can be started any number
+of times, on any schedule -- worker pools coordinate purely through the
+queue directory (claims + leases), and a killed pool's jobs are stolen
+after its leases lapse.  ``query``/``plot`` merge the queue into the
+results database first, so they always see the latest drained state;
+``--no-merge`` reads the database as-is (the "from the DB alone" path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..metrics.report import format_table
+from ..runner import wallclock
+from .db import DbError, ResultsDb, write_csv
+from .manifest import ManifestError, parse_manifest
+from .plot import PlotError, render, series_from_table
+from .queue import (DEFAULT_LEASE_SECONDS, CampaignQueue, QueueError,
+                    find_campaign, list_campaigns)
+from .service import (DEFAULT_POLL_SECONDS, default_worker_id,
+                      work_campaign)
+
+#: queue root used when --queue-root / the positional root is omitted
+DEFAULT_QUEUE_ROOT = ".repro-fabric"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric",
+        description="Declarative simulation campaigns: submit, drain "
+                    "with any number of worker pools, query the merged "
+                    "results database.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="expand a manifest into a campaign directory")
+    submit.add_argument("manifest", help="YAML/JSON manifest path")
+    submit.add_argument("--queue-root", default=DEFAULT_QUEUE_ROOT)
+
+    work = commands.add_parser(
+        "work", help="drain a campaign (run any number of these)")
+    work.add_argument("queue_root", nargs="?", default=DEFAULT_QUEUE_ROOT)
+    work.add_argument("--campaign", default=None,
+                      help="campaign id, id prefix, or name (optional "
+                           "when the root holds exactly one)")
+    work.add_argument("--jobs", type=int, default=1,
+                      help="worker processes in this pool (default: 1)")
+    work.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+                      help="claim lease seconds; a pool that stops "
+                           "renewing for this long has its jobs stolen "
+                           f"(default: {DEFAULT_LEASE_SECONDS:.0f})")
+    work.add_argument("--poll", type=float, default=DEFAULT_POLL_SECONDS,
+                      help="idle re-poll interval while other pools "
+                           "hold live leases")
+    work.add_argument("--max-jobs", type=int, default=None,
+                      help="stop after executing this many jobs")
+    work.add_argument("--worker", default=None,
+                      help="worker id recorded on claims "
+                           "(default: host:pid)")
+    work.add_argument("--retries", type=int, default=2)
+    work.add_argument("--no-wait", action="store_true",
+                      help="exit when nothing is claimable instead of "
+                           "polling until the campaign drains")
+    work.add_argument("--inline", action="store_true",
+                      help="run jobs in-process instead of a pool "
+                           "(no SIGALRM timeouts; serial reference)")
+    work.add_argument("--progress", action="store_true",
+                      help="runner progress lines on stderr")
+    work.add_argument("--die-after-claims", type=int, default=None,
+                      help=argparse.SUPPRESS)  # chaos/selfcheck hook
+
+    status = commands.add_parser(
+        "status", help="campaign progress, workers, and ETA")
+    status.add_argument("queue_root", nargs="?",
+                        default=DEFAULT_QUEUE_ROOT)
+    status.add_argument("--campaign", default=None)
+    status.add_argument("--watch", action="store_true",
+                        help="refresh until the campaign drains")
+    status.add_argument("--interval", type=float, default=2.0)
+
+    query = commands.add_parser(
+        "query", help="merge the queue into SQLite and query it")
+    query.add_argument("queue_root", nargs="?", default=DEFAULT_QUEUE_ROOT)
+    query.add_argument("--campaign", default=None)
+    query.add_argument("--db", default=None,
+                       help="database path (default: "
+                            "<queue-root>/results.sqlite)")
+    query.add_argument("--no-merge", action="store_true",
+                       help="query the database as-is, without "
+                            "re-merging the queue first")
+    query.add_argument("--sql", default=None,
+                       help="SELECT/WITH statement over campaigns/jobs/"
+                            "results/metrics (default: the flat "
+                            "per-job table)")
+    query.add_argument("--job", default=None,
+                       help="re-render one job's stored experiment "
+                            "table from the database alone")
+    query.add_argument("--csv", default=None, metavar="PATH",
+                       help="also write the output as CSV")
+    query.add_argument("--fingerprint", action="store_true",
+                       help="print the campaign's deterministic "
+                            "fingerprint instead of rows")
+
+    plot = commands.add_parser(
+        "plot", help="render a figure from the results database")
+    plot.add_argument("queue_root", nargs="?", default=DEFAULT_QUEUE_ROOT)
+    plot.add_argument("--campaign", default=None)
+    plot.add_argument("--db", default=None)
+    plot.add_argument("--no-merge", action="store_true")
+    plot.add_argument("-x", required=True,
+                      help="x-axis column of the flat table")
+    plot.add_argument("-y", required=True,
+                      help="y-axis column (a metric or param)")
+    plot.add_argument("--group-by", default=None,
+                      help="column whose values become separate series")
+    plot.add_argument("-o", "--out", default="campaign.svg",
+                      help="output path (SVG always works; .png needs "
+                           "matplotlib and falls back to .svg)")
+    plot.add_argument("--title", default=None)
+
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="two pools, one killed mid-campaign; assert the merged "
+             "database is bit-identical to a serial drain")
+    selfcheck.add_argument("--workdir", default=".repro-fabric-selfcheck")
+    selfcheck.add_argument("--num-jobs", type=int, default=24)
+    selfcheck.add_argument("--cycles", type=int, default=3_000)
+    selfcheck.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+
+
+def cmd_submit(args) -> int:
+    manifest = parse_manifest(args.manifest)
+    queue = CampaignQueue.submit(args.queue_root, manifest)
+    header = queue.header()
+    print(f"campaign {queue.campaign_id} ({header['name']}): "
+          f"{header['num_jobs']} jobs under {queue.directory}")
+    return 0
+
+
+def cmd_work(args) -> int:
+    queue = find_campaign(args.queue_root, args.campaign)
+    counters = work_campaign(
+        queue, worker=args.worker or default_worker_id(),
+        jobs=args.jobs, lease_seconds=args.lease,
+        poll_seconds=args.poll, wait_for_drain=not args.no_wait,
+        max_jobs=args.max_jobs, retries=args.retries,
+        progress=args.progress, pool=not args.inline,
+        die_after_claims=args.die_after_claims)
+    print(f"campaign {queue.campaign_id}: executed "
+          f"{counters['executed']} job(s) "
+          f"({counters['done']} done, {counters['failed']} failed, "
+          f"{counters['stolen']} stolen)")
+    return 1 if counters["failed"] else 0
+
+
+def _print_status(queue: CampaignQueue) -> bool:
+    snapshot = queue.snapshot()
+    eta = CampaignQueue.eta_seconds(snapshot)
+    eta_text = "unknown" if eta is None else f"{eta:.0f}s"
+    workers = ", ".join(f"{name} ({count})" for name, count
+                        in snapshot["workers"].items()) or "none"
+    print(f"campaign {snapshot['campaign_id']}: "
+          f"{snapshot['done']}/{snapshot['total']} done, "
+          f"{snapshot['failed']} failed, {snapshot['running']} running, "
+          f"{snapshot['stale']} stale, {snapshot['pending']} pending; "
+          f"eta {eta_text}; workers: {workers}")
+    return snapshot["done"] + snapshot["failed"] >= snapshot["total"]
+
+
+def cmd_status(args) -> int:
+    if args.campaign is None and not args.watch:
+        queues = list_campaigns(args.queue_root)
+        if not queues:
+            print(f"no submitted campaigns under {args.queue_root}")
+            return 1
+        for queue in queues:
+            _print_status(queue)
+        return 0
+    queue = find_campaign(args.queue_root, args.campaign)
+    while True:
+        finished = _print_status(queue)
+        if finished or not args.watch:
+            return 0
+        wallclock.sleep(args.interval)
+
+
+def _open_db(args) -> ResultsDb:
+    db_path = args.db or f"{args.queue_root}/results.sqlite"
+    db = ResultsDb(db_path)
+    if not args.no_merge:
+        queue = find_campaign(args.queue_root, args.campaign)
+        db.merge_queue(queue)
+    return db
+
+
+def _campaign_id(args, db: ResultsDb) -> str:
+    if args.campaign is None:
+        campaigns = db.campaigns()
+        if len(campaigns) == 1:
+            return campaigns[0][0]
+        raise DbError(f"database holds {len(campaigns)} campaigns; "
+                      f"pass --campaign")
+    return find_campaign(args.queue_root, args.campaign).campaign_id
+
+
+def cmd_query(args) -> int:
+    with _open_db(args) as db:
+        if args.fingerprint:
+            print(db.fingerprint(_campaign_id(args, db)))
+            return 0
+        if args.sql:
+            headers, rows = db.query(args.sql)
+            title = None
+        elif args.job:
+            campaign_id = _campaign_id(args, db)
+            headers, rows, title = db.stored_result_rows(campaign_id,
+                                                         args.job)
+        else:
+            campaign_id = _campaign_id(args, db)
+            headers, rows = db.table(campaign_id)
+            title = f"campaign {campaign_id}"
+        print(format_table(headers, rows, title=title))
+        if args.csv:
+            write_csv(headers, rows, args.csv)
+            print(f"csv written to {args.csv}")
+    return 0
+
+
+def cmd_plot(args) -> int:
+    with _open_db(args) as db:
+        campaign_id = _campaign_id(args, db)
+        headers, rows = db.table(campaign_id)
+    series = series_from_table(headers, rows, x=args.x, y=args.y,
+                               group_by=args.group_by)
+    out = render(series,
+                 title=args.title or f"campaign {campaign_id}: "
+                                     f"{args.y} vs {args.x}",
+                 x_label=args.x, y_label=args.y, out_path=args.out)
+    print(f"figure written to {out}")
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    from .selfcheck import run_selfcheck
+
+    report = run_selfcheck(args.workdir, num_jobs=args.num_jobs,
+                           cycles=args.cycles)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "submit": cmd_submit,
+        "work": cmd_work,
+        "status": cmd_status,
+        "query": cmd_query,
+        "plot": cmd_plot,
+        "selfcheck": cmd_selfcheck,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ManifestError, QueueError, DbError, PlotError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

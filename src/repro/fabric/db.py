@@ -1,0 +1,351 @@
+"""The campaign results database (SQLite) and its deterministic merge.
+
+Workers never write SQLite concurrently: terminal results land as one
+atomic JSON file per job in the queue (``results/<index>.json``), and
+the database is **rebuilt** from those files in sorted job-index order.
+That makes the database a pure function of the result set -- any worker
+topology (serial, two pools, ten hosts, with or without steals) merges
+to row-for-row identical tables, which :meth:`ResultsDb.fingerprint`
+turns into a single comparable hash.
+
+Schema::
+
+    campaigns(campaign_id PK, name, num_jobs, manifest_json)
+    jobs(campaign_id, job_index PK, job_id, spec_hash, seed, scale,
+         params_json)
+    results(campaign_id, job_index PK, job_id, status, metrics_json,
+            value_json, error, code_fingerprint,     -- deterministic
+            attempts, worker, duration)              -- provenance only
+    metrics(campaign_id, job_index, name PK, value)  -- flat, plottable
+
+``attempts``/``worker``/``duration`` are provenance: they legitimately
+differ between a serial run and a crash-recovered one, so the
+fingerprint excludes them (and only them).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import hashlib
+import io
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .queue import RESULT_DONE, CampaignQueue
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    num_jobs INTEGER NOT NULL,
+    manifest_json TEXT
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    campaign_id TEXT NOT NULL,
+    job_index INTEGER NOT NULL,
+    job_id TEXT NOT NULL,
+    spec_hash TEXT NOT NULL,
+    seed INTEGER,
+    scale TEXT,
+    params_json TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, job_index)
+);
+CREATE TABLE IF NOT EXISTS results (
+    campaign_id TEXT NOT NULL,
+    job_index INTEGER NOT NULL,
+    job_id TEXT NOT NULL,
+    status TEXT NOT NULL,
+    metrics_json TEXT NOT NULL,
+    value_json TEXT,
+    error TEXT,
+    code_fingerprint TEXT,
+    attempts INTEGER,
+    worker TEXT,
+    duration REAL,
+    PRIMARY KEY (campaign_id, job_index)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    campaign_id TEXT NOT NULL,
+    job_index INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    value REAL NOT NULL,
+    PRIMARY KEY (campaign_id, job_index, name)
+);
+"""
+
+#: results columns covered by the fingerprint (provenance excluded)
+_FINGERPRINT_RESULT_COLUMNS = ("job_index", "job_id", "status",
+                               "metrics_json", "value_json", "error",
+                               "code_fingerprint")
+
+
+class DbError(RuntimeError):
+    """The results database is missing data or was queried invalidly."""
+
+
+# ----------------------------------------------------------------------
+# value -> metrics extraction
+
+
+def extract_metrics(value: Any) -> Dict[str, float]:
+    """Numeric metrics of an arbitrary job return value.
+
+    Experiment :class:`~repro.experiments.common.Result` objects
+    contribute their ``summary``; bare numbers become ``{"value": x}``;
+    dicts keep their numeric entries.  Anything else has no metrics --
+    the full payload still lands in ``value_json``.
+    """
+    summary = getattr(value, "summary", None)
+    if isinstance(summary, dict):
+        return {str(key): float(val) for key, val in sorted(summary.items())
+                if isinstance(val, (int, float))}
+    if isinstance(value, bool):
+        return {"value": float(value)}
+    if isinstance(value, (int, float)):
+        return {"value": float(value)}
+    if isinstance(value, dict):
+        return {str(key): float(val) for key, val in sorted(value.items())
+                if isinstance(val, (int, float))
+                and not isinstance(val, bool)}
+    return {}
+
+
+def encode_value(value: Any) -> Optional[str]:
+    """Canonical JSON of a job's return value, or None when it has no
+    stable JSON form (then only its metrics are recorded)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    try:
+        return json.dumps(value, sort_keys=True)
+    except (TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+
+
+class ResultsDb:
+    """SQLite store over one or more campaigns; see the module docstring."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.connection = sqlite3.connect(str(self.path))
+        self.connection.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "ResultsDb":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # deterministic merge
+
+    def merge_queue(self, queue: CampaignQueue) -> int:
+        """Rebuild one campaign's rows from its queue directory.
+
+        Delete-then-insert in sorted index order inside one transaction:
+        re-merging after more results arrive, or merging the same queue
+        from two different processes, always converges to the same rows.
+        Returns the number of result rows merged.
+        """
+        header = queue.header()
+        campaign_id = queue.campaign_id
+        cursor = self.connection.cursor()
+        cursor.execute("BEGIN")
+        for table in ("campaigns", "jobs", "results", "metrics"):
+            cursor.execute(f"DELETE FROM {table} WHERE campaign_id = ?",
+                           (campaign_id,))
+        cursor.execute(
+            "INSERT INTO campaigns VALUES (?, ?, ?, ?)",
+            (campaign_id, header["name"], header["num_jobs"],
+             json.dumps(header.get("manifest"), sort_keys=True)))
+        merged = 0
+        for index in queue.job_indices():
+            spec = queue.load_spec(index)
+            cursor.execute(
+                "INSERT INTO jobs VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (campaign_id, index, spec.job_id, spec.spec_hash(),
+                 spec.seed, spec.scale,
+                 json.dumps(_jsonable_params(spec), sort_keys=True)))
+            record = queue.load_result(index)
+            if record is None:
+                continue
+            metrics = record.get("metrics") or {}
+            cursor.execute(
+                "INSERT INTO results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (campaign_id, index, record.get("job_id", spec.job_id),
+                 record.get("status", "?"),
+                 json.dumps(metrics, sort_keys=True),
+                 record.get("value_json"),
+                 record.get("error"),
+                 record.get("code_fingerprint"),
+                 record.get("attempts"),
+                 record.get("worker"),
+                 record.get("duration")))
+            for name in sorted(metrics):
+                cursor.execute(
+                    "INSERT INTO metrics VALUES (?, ?, ?, ?)",
+                    (campaign_id, index, name, float(metrics[name])))
+            merged += 1
+        self.connection.commit()
+        return merged
+
+    # ------------------------------------------------------------------
+    # fingerprint
+
+    def fingerprint(self, campaign_id: str) -> str:
+        """SHA-256 over the campaign's deterministic rows.
+
+        Covers jobs (identity, spec hashes, params) and results
+        (status, metrics, values, errors, code fingerprint) in index
+        order; excludes attempts/worker/duration, which describe *how*
+        a result was obtained rather than *what* it is.
+        """
+        digest = hashlib.sha256()
+        cursor = self.connection.cursor()
+        for row in cursor.execute(
+                "SELECT job_index, job_id, spec_hash, seed, scale, "
+                "params_json FROM jobs WHERE campaign_id = ? "
+                "ORDER BY job_index", (campaign_id,)):
+            digest.update(repr(row).encode("utf-8"))
+            digest.update(b"\0")
+        columns = ", ".join(_FINGERPRINT_RESULT_COLUMNS)
+        for row in cursor.execute(
+                f"SELECT {columns} FROM results WHERE campaign_id = ? "
+                f"ORDER BY job_index", (campaign_id,)):
+            digest.update(repr(row).encode("utf-8"))
+            digest.update(b"\0")
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def query(self, sql: str,
+              parameters: Sequence[Any] = ()) -> Tuple[List[str],
+                                                       List[Tuple]]:
+        """Run one SQL statement; returns (column names, rows).
+
+        The connection is the real thing -- joins, aggregates, and CTEs
+        over the four tables all work.  Mutating statements are refused:
+        the database is a *view* of the queue, and hand edits would be
+        silently erased by the next merge.
+        """
+        head = sql.lstrip().split(None, 1)
+        if not head or head[0].upper() not in ("SELECT", "WITH"):
+            raise DbError("only SELECT/WITH queries are allowed; the "
+                          "database is rebuilt from the queue and manual "
+                          "writes would be lost")
+        cursor = self.connection.execute(sql, tuple(parameters))
+        headers = [description[0] for description in cursor.description]
+        return headers, cursor.fetchall()
+
+    def table(self, campaign_id: str) -> Tuple[List[str], List[List[Any]]]:
+        """The flat per-job view: identity + params + one column per
+        metric, one row per job, in index order.  This is what ``query``
+        prints by default, ``--csv`` exports, and ``plot`` reads."""
+        cursor = self.connection.cursor()
+        jobs = cursor.execute(
+            "SELECT job_index, job_id, seed, scale, params_json FROM jobs "
+            "WHERE campaign_id = ? ORDER BY job_index",
+            (campaign_id,)).fetchall()
+        if not jobs:
+            raise DbError(f"campaign {campaign_id!r} is not in this "
+                          f"database (merge the queue first)")
+        results = {row[0]: (row[1], row[2]) for row in cursor.execute(
+            "SELECT job_index, status, metrics_json FROM results "
+            "WHERE campaign_id = ?", (campaign_id,))}
+
+        param_names: List[str] = []
+        metric_names: List[str] = []
+        parsed = []
+        for job_index, job_id, seed, scale, params_json in jobs:
+            params = json.loads(params_json)
+            for name in params:
+                if name not in param_names:
+                    param_names.append(name)
+            status, metrics_json = results.get(job_index, ("pending", "{}"))
+            metrics = json.loads(metrics_json)
+            for name in sorted(metrics):
+                if name not in metric_names:
+                    metric_names.append(name)
+            parsed.append((job_index, job_id, seed, scale, params, status,
+                           metrics))
+        param_names.sort()
+        headers = (["job_index", "job_id", "seed", "scale", "status"]
+                   + param_names + sorted(metric_names))
+        rows = []
+        for (job_index, job_id, seed, scale, params, status,
+             metrics) in parsed:
+            row: List[Any] = [job_index, job_id, seed, scale, status]
+            row.extend(params.get(name) for name in param_names)
+            row.extend(metrics.get(name) for name in sorted(metric_names))
+            rows.append(row)
+        return headers, rows
+
+    def stored_result_rows(self, campaign_id: str,
+                           job_id: str) -> Tuple[List[str], List[List[Any]],
+                                                 str]:
+        """One job's stored experiment table (headers, rows, title) --
+        re-renders a figure's data from the database alone."""
+        cursor = self.connection.execute(
+            "SELECT value_json FROM results WHERE campaign_id = ? AND "
+            "job_id = ?", (campaign_id, job_id))
+        found = cursor.fetchone()
+        if found is None or found[0] is None:
+            raise DbError(f"no stored value for job {job_id!r} in "
+                          f"campaign {campaign_id!r}")
+        value = json.loads(found[0])
+        if not isinstance(value, dict) or "rows" not in value:
+            raise DbError(f"job {job_id!r} did not return a tabular "
+                          f"experiment Result")
+        return (list(value.get("headers", [])),
+                [list(row) for row in value["rows"]],
+                str(value.get("title", job_id)))
+
+    # ------------------------------------------------------------------
+
+    def campaigns(self) -> List[Tuple[str, str, int]]:
+        cursor = self.connection.execute(
+            "SELECT campaign_id, name, num_jobs FROM campaigns "
+            "ORDER BY campaign_id")
+        return cursor.fetchall()
+
+
+def _jsonable_params(spec) -> Dict[str, Any]:
+    """kwargs of a spec reduced to a JSON-able dict (GA batches carry
+    live objects; those are represented by their content hash)."""
+    from ..runner.jobspec import content_hash
+
+    params: Dict[str, Any] = {}
+    for key, value in spec.kwargs:
+        try:
+            json.dumps(value)
+            params[key] = value
+        except (TypeError, ValueError):
+            params[key] = f"hash:{content_hash(value)[:12]}"
+    return params
+
+
+def write_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+              path: Union[str, Path, None]) -> str:
+    """Render rows as CSV; written to ``path`` when given, and always
+    returned as text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

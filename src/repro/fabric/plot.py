@@ -1,0 +1,223 @@
+"""Figure export from the results database, with no plotting deps.
+
+The container this reproduction targets has no matplotlib, so figures
+are emitted as hand-rolled SVG: line-per-series charts with axes, ticks,
+and a legend -- enough to re-render an experiment figure (for MITTS,
+e.g. slowdown-vs-offered-bandwidth curves) from the database alone.
+When matplotlib *is* importable, ``render`` upgrades to a PNG through
+it; the SVG path is the contract and the one CI exercises.
+
+Everything here is presentation: inputs come from
+:meth:`repro.fabric.db.ResultsDb.table` (or a stored experiment
+result), outputs are files, and nothing flows back into results.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: (x, y) samples per named series, already sorted by the caller
+Series = Dict[str, List[Tuple[float, float]]]
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_LEFT, _MARGIN_RIGHT = 64, 16
+_MARGIN_TOP, _MARGIN_BOTTOM = 40, 48
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+            "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f")
+
+
+class PlotError(ValueError):
+    """The requested figure cannot be built from the given table."""
+
+
+# ----------------------------------------------------------------------
+# table -> series
+
+
+def series_from_table(headers: Sequence[str],
+                      rows: Sequence[Sequence[Any]],
+                      x: str, y: str,
+                      group_by: Optional[str] = None) -> Series:
+    """Group a flat table into plottable series.
+
+    ``x`` and ``y`` name numeric columns; ``group_by`` (optional) names
+    the column whose distinct values become separate series.  Rows with
+    a missing x or y (pending jobs, failed jobs) are skipped -- a
+    partially drained campaign still plots.
+    """
+    for name in filter(None, (x, y, group_by)):
+        if name not in headers:
+            raise PlotError(f"no column {name!r}; available: "
+                            f"{', '.join(headers)}")
+    x_at = headers.index(x)
+    y_at = headers.index(y)
+    group_at = headers.index(group_by) if group_by else None
+
+    series: Series = {}
+    for row in rows:
+        x_value, y_value = row[x_at], row[y_at]
+        if not _numeric(x_value) or not _numeric(y_value):
+            continue
+        key = y if group_at is None else f"{group_by}={row[group_at]}"
+        series.setdefault(key, []).append((float(x_value), float(y_value)))
+    if not any(series.values()):
+        raise PlotError(f"no numeric ({x}, {y}) pairs to plot")
+    for points in series.values():
+        points.sort()
+    return {key: series[key] for key in sorted(series)}
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ----------------------------------------------------------------------
+# SVG backend (always available)
+
+
+def render_svg(series: Series, title: str, x_label: str,
+               y_label: str) -> str:
+    """A complete SVG document for line-per-series data."""
+    points = [point for values in series.values() for point in values]
+    if not points:
+        raise PlotError("nothing to plot")
+    x_lo, x_hi = _bounds([point[0] for point in points])
+    y_lo, y_hi = _bounds([point[1] for point in points])
+
+    def sx(value: float) -> float:
+        span = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+        return _MARGIN_LEFT + (value - x_lo) / (x_hi - x_lo) * span
+
+    def sy(value: float) -> float:
+        span = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+        return _HEIGHT - _MARGIN_BOTTOM \
+            - (value - y_lo) / (y_hi - y_lo) * span
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{_WIDTH}" height="{_HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.1f}" y="20" text-anchor="middle" '
+        f'font-size="15">{_escape(title)}</text>',
+    ]
+    # axes + ticks
+    x0, y0 = _MARGIN_LEFT, _HEIGHT - _MARGIN_BOTTOM
+    parts.append(f'<line x1="{x0}" y1="{_MARGIN_TOP}" x2="{x0}" '
+                 f'y2="{y0}" stroke="black"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" '
+                 f'x2="{_WIDTH - _MARGIN_RIGHT}" y2="{y0}" '
+                 f'stroke="black"/>')
+    for tick in _ticks(x_lo, x_hi):
+        x_pos = sx(tick)
+        parts.append(f'<line x1="{x_pos:.1f}" y1="{y0}" x2="{x_pos:.1f}" '
+                     f'y2="{y0 + 4}" stroke="black"/>')
+        parts.append(f'<text x="{x_pos:.1f}" y="{y0 + 18}" '
+                     f'text-anchor="middle">{_label(tick)}</text>')
+    for tick in _ticks(y_lo, y_hi):
+        y_pos = sy(tick)
+        parts.append(f'<line x1="{x0 - 4}" y1="{y_pos:.1f}" x2="{x0}" '
+                     f'y2="{y_pos:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{x0 - 8}" y="{y_pos + 4:.1f}" '
+                     f'text-anchor="end">{_label(tick)}</text>')
+    parts.append(f'<text x="{(x0 + _WIDTH - _MARGIN_RIGHT) / 2:.1f}" '
+                 f'y="{_HEIGHT - 10}" text-anchor="middle">'
+                 f'{_escape(x_label)}</text>')
+    parts.append(f'<text x="16" y="{(y0 + _MARGIN_TOP) / 2:.1f}" '
+                 f'text-anchor="middle" transform="rotate(-90 16 '
+                 f'{(y0 + _MARGIN_TOP) / 2:.1f})">'
+                 f'{_escape(y_label)}</text>')
+    # series
+    for slot, (name, values) in enumerate(series.items()):
+        if not values:
+            continue
+        colour = _PALETTE[slot % len(_PALETTE)]
+        path = " ".join(f"{'M' if at == 0 else 'L'} "
+                        f"{sx(px):.1f} {sy(py):.1f}"
+                        for at, (px, py) in enumerate(values))
+        parts.append(f'<path d="{path}" fill="none" stroke="{colour}" '
+                     f'stroke-width="1.5"/>')
+        for px, py in values:
+            parts.append(f'<circle cx="{sx(px):.1f}" cy="{sy(py):.1f}" '
+                         f'r="2.5" fill="{colour}"/>')
+        legend_y = _MARGIN_TOP + 6 + slot * 16
+        legend_x = _WIDTH - _MARGIN_RIGHT - 150
+        parts.append(f'<line x1="{legend_x}" y1="{legend_y}" '
+                     f'x2="{legend_x + 18}" y2="{legend_y}" '
+                     f'stroke="{colour}" stroke-width="1.5"/>')
+        parts.append(f'<text x="{legend_x + 24}" y="{legend_y + 4}">'
+                     f'{_escape(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _bounds(values: List[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        # A flat series still needs a non-degenerate axis.
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    step = (hi - lo) / (count - 1)
+    return [lo + index * step for index in range(count)]
+
+
+def _label(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+# ----------------------------------------------------------------------
+# entry point
+
+
+def render(series: Series, title: str, x_label: str, y_label: str,
+           out_path: Union[str, Path]) -> Path:
+    """Write the figure; PNG via matplotlib when both are available,
+    SVG otherwise (the suffix is corrected to match the backend)."""
+    out_path = Path(out_path)
+    if out_path.suffix == ".png":
+        try:
+            import matplotlib  # noqa: F401  (optional, not in CI image)
+        except ImportError:
+            out_path = out_path.with_suffix(".svg")
+        else:
+            return _render_matplotlib(series, title, x_label, y_label,
+                                      out_path)
+    out_path.write_text(render_svg(series, title, x_label, y_label),
+                        encoding="utf-8")
+    return out_path
+
+
+def _render_matplotlib(series: Series, title: str, x_label: str,
+                       y_label: str, out_path: Path) -> Path:
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    figure, axes = plt.subplots(figsize=(6.4, 4.2))
+    for name, values in series.items():
+        if not values:
+            continue
+        axes.plot([point[0] for point in values],
+                  [point[1] for point in values],
+                  marker="o", markersize=3, label=name)
+    axes.set_title(title)
+    axes.set_xlabel(x_label)
+    axes.set_ylabel(y_label)
+    if len(series) > 1:
+        axes.legend()
+    figure.tight_layout()
+    figure.savefig(out_path, dpi=120)
+    plt.close(figure)
+    return out_path

@@ -1,0 +1,479 @@
+"""The durable, filesystem-backed campaign work queue.
+
+One campaign is one directory tree under the queue root::
+
+    <root>/<campaign_id>/
+        manifest.json          # campaign header (written last = commit)
+        jobs/<index>.json      # one serialised JobSpec per job
+        claims/<index>.json    # existence = claimed; holds worker + lease
+        results/<index>.json   # existence = terminal (done or failed)
+        checkpoints/           # per-job simulation checkpoints (runner)
+
+Everything is plain files with **atomic** transitions, so any number of
+worker pools -- separate processes today, separate hosts on a shared
+filesystem tomorrow -- can drain one campaign concurrently with no
+daemon and no locks held across a job:
+
+* **claim** -- ``O_CREAT | O_EXCL`` on the claim file; exactly one
+  worker wins, everyone else moves on.
+* **lease** -- the claim records an epoch-seconds expiry and the worker
+  renews it (atomic rewrite) while the job runs; a worker that dies --
+  ``kill -9``, OOM, power loss -- simply stops renewing.
+* **steal** -- a worker that finds an *expired* claim renames it away
+  (``os.rename`` succeeds for exactly one stealer) and claims the job
+  itself, bumping the lease generation.  The runner's checkpoint
+  plumbing then resumes the victim's partial simulation instead of
+  restarting it.
+* **complete** -- the result file is written atomically *before* the
+  claim is released, so a job is never observably unclaimed-and-undone
+  once finished.
+
+Determinism: results are one file per job, keyed by job index.  The
+results database is rebuilt from those files in sorted index order, so
+the merged database is a pure function of the *set* of results -- any
+worker topology (1 pool or 10, with or without steals) produces a
+bit-identical database to a serial drain.  The rare double-execution a
+steal race can produce is harmless for the same reason: jobs are
+deterministic, so the second result file is byte-identical to the first.
+
+Wall-clock access (lease deadlines) goes through
+:mod:`repro.runner.wallclock` only, and never flows into a result.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..runner import wallclock
+from ..runner.jobspec import JobSpec
+from .manifest import Manifest
+
+#: seconds a claim stays valid without renewal (workers renew at ~1/3)
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: result statuses
+RESULT_DONE = "done"
+RESULT_FAILED = "failed"
+
+
+class QueueError(RuntimeError):
+    """A campaign directory is missing, damaged, or inconsistent."""
+
+
+# ----------------------------------------------------------------------
+# JobSpec <-> JSON (args/kwargs fall back to pickle for non-JSON values)
+
+
+def encode_spec(spec: JobSpec, index: int) -> Dict[str, Any]:
+    """The JSON document stored for one job."""
+    return {
+        "job_index": index,
+        "job_id": spec.job_id,
+        "fn": spec.fn,
+        "args": _encode_value(list(spec.args)),
+        "kwargs": _encode_value([[key, value] for key, value in spec.kwargs]),
+        "seed": spec.seed,
+        "scale": spec.scale,
+        "timeout": spec.timeout,
+        "retries": spec.retries,
+        "spec_hash": spec.spec_hash(),
+    }
+
+
+def decode_spec(document: Dict[str, Any]) -> Tuple[int, JobSpec]:
+    args = _decode_value(document["args"])
+    kwargs = _decode_value(document["kwargs"])
+    spec = JobSpec(
+        job_id=document["job_id"], fn=document["fn"],
+        args=tuple(args),
+        kwargs=tuple((key, value) for key, value in kwargs),
+        seed=document["seed"], scale=document["scale"],
+        timeout=document["timeout"], retries=document["retries"])
+    stored = document.get("spec_hash")
+    if stored is not None and spec.spec_hash() != stored:
+        raise QueueError(
+            f"job {spec.job_id!r} decoded to spec hash "
+            f"{spec.spec_hash()[:12]} but was submitted as {stored[:12]}; "
+            f"the queue entry is damaged")
+    return document["job_index"], spec
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    """JSON when possible (readable, greppable), pickle+base64 otherwise
+    (GA batches carry evaluator objects that JSON cannot express)."""
+    try:
+        encoded = json.dumps(value)
+        if json.loads(encoded) == value:
+            return {"format": "json", "data": encoded}
+    except (TypeError, ValueError):
+        pass
+    body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"format": "pickle",
+            "data": base64.b64encode(body).decode("ascii")}
+
+
+def _decode_value(envelope: Dict[str, Any]) -> Any:
+    if envelope["format"] == "json":
+        return json.loads(envelope["data"])
+    if envelope["format"] == "pickle":
+        return pickle.loads(base64.b64decode(envelope["data"]))
+    raise QueueError(f"unknown payload format {envelope['format']!r}")
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a JSON file, treating vanished/partial files as absent.
+
+    Claim files are replaced and renamed concurrently by other workers;
+    observing a mid-transition file is normal, not an error.
+    """
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# claims
+
+
+class ClaimedJob:
+    """A job this worker currently holds the lease on."""
+
+    __slots__ = ("index", "spec", "attempt", "claim_path")
+
+    def __init__(self, index: int, spec: JobSpec, attempt: int,
+                 claim_path: Path) -> None:
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.claim_path = claim_path
+
+
+class CampaignQueue:
+    """One campaign's directory tree; see the module docstring."""
+
+    def __init__(self, root: Union[str, Path], campaign_id: str) -> None:
+        self.root = Path(root)
+        self.campaign_id = campaign_id
+        self.directory = self.root / campaign_id
+        self.jobs_dir = self.directory / "jobs"
+        self.claims_dir = self.directory / "claims"
+        self.results_dir = self.directory / "results"
+        self.checkpoints_dir = self.directory / "checkpoints"
+
+    # ------------------------------------------------------------------
+    # submission
+
+    @classmethod
+    def submit(cls, root: Union[str, Path],
+               manifest: Manifest) -> "CampaignQueue":
+        """Expand ``manifest`` into a campaign directory.
+
+        Idempotent: the campaign id is content-derived, so re-submitting
+        the same manifest finds the existing campaign (and its results)
+        instead of duplicating work.  ``manifest.json`` is written last,
+        as the commit marker -- a half-submitted campaign (killed
+        mid-write) has no header and is re-submitted from scratch.
+        """
+        queue = cls(root, manifest.campaign_id())
+        if queue.is_submitted():
+            return queue
+        specs = manifest.expand()
+        for directory in (queue.jobs_dir, queue.claims_dir,
+                          queue.results_dir, queue.checkpoints_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        for index, spec in enumerate(specs):
+            _write_atomic(queue.jobs_dir / f"{index:06d}.json",
+                          json.dumps(encode_spec(spec, index),
+                                     sort_keys=True, indent=1))
+        header = {
+            "campaign_id": queue.campaign_id,
+            "name": manifest.name,
+            "num_jobs": len(specs),
+            "manifest": manifest.as_dict(),
+        }
+        _write_atomic(queue.directory / "manifest.json",
+                      json.dumps(header, sort_keys=True, indent=1))
+        return queue
+
+    @classmethod
+    def submit_specs(cls, root: Union[str, Path], name: str,
+                     specs: List[JobSpec]) -> "CampaignQueue":
+        """Submit pre-built specs (the GA batch path) as a campaign.
+
+        The campaign id derives from the spec hashes, so identical
+        batches dedupe exactly like manifest campaigns.
+        """
+        from ..runner.jobspec import content_hash
+
+        if not specs:
+            raise QueueError("cannot submit an empty campaign")
+        campaign_id = content_hash(
+            {"name": name,
+             "specs": [spec.spec_hash() for spec in specs]})[:12]
+        queue = cls(root, campaign_id)
+        if queue.is_submitted():
+            return queue
+        for directory in (queue.jobs_dir, queue.claims_dir,
+                          queue.results_dir, queue.checkpoints_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        for index, spec in enumerate(specs):
+            _write_atomic(queue.jobs_dir / f"{index:06d}.json",
+                          json.dumps(encode_spec(spec, index),
+                                     sort_keys=True, indent=1))
+        header = {"campaign_id": campaign_id, "name": name,
+                  "num_jobs": len(specs), "manifest": None}
+        _write_atomic(queue.directory / "manifest.json",
+                      json.dumps(header, sort_keys=True, indent=1))
+        return queue
+
+    def is_submitted(self) -> bool:
+        return (self.directory / "manifest.json").exists()
+
+    def header(self) -> Dict[str, Any]:
+        document = _read_json(self.directory / "manifest.json")
+        if document is None:
+            raise QueueError(f"{self.directory} holds no submitted "
+                             f"campaign (missing/unreadable manifest.json)")
+        return document
+
+    # ------------------------------------------------------------------
+    # enumeration
+
+    def job_indices(self) -> List[int]:
+        try:
+            names = os.listdir(self.jobs_dir)
+        except OSError as exc:
+            raise QueueError(f"cannot list jobs in {self.jobs_dir}: {exc}"
+                             ) from exc
+        return sorted(int(name[:-5]) for name in names
+                      if name.endswith(".json"))
+
+    def load_spec(self, index: int) -> JobSpec:
+        document = _read_json(self.jobs_dir / f"{index:06d}.json")
+        if document is None:
+            raise QueueError(f"job {index} missing from {self.jobs_dir}")
+        _index, spec = decode_spec(document)
+        return spec
+
+    def result_path(self, index: int) -> Path:
+        return self.results_dir / f"{index:06d}.json"
+
+    def has_result(self, index: int) -> bool:
+        return self.result_path(index).exists()
+
+    def load_result(self, index: int) -> Optional[Dict[str, Any]]:
+        return _read_json(self.result_path(index))
+
+    # ------------------------------------------------------------------
+    # the claim/lease/steal protocol
+
+    def _claim_path(self, index: int) -> Path:
+        return self.claims_dir / f"{index:06d}.json"
+
+    def claim_next(self, worker: str,
+                   lease_seconds: float = DEFAULT_LEASE_SECONDS
+                   ) -> Optional[ClaimedJob]:
+        """Claim the lowest-index job that is neither done nor validly
+        claimed; returns None when no job is currently claimable (which
+        does *not* mean the campaign is finished -- other workers may
+        hold live leases)."""
+        for index in self.job_indices():
+            if self.has_result(index):
+                continue
+            claimed = self._try_claim(index, worker, lease_seconds)
+            if claimed is not None:
+                return claimed
+        return None
+
+    def _try_claim(self, index: int, worker: str,
+                   lease_seconds: float) -> Optional[ClaimedJob]:
+        claim_path = self._claim_path(index)
+        attempt = 1
+        if claim_path.exists():
+            claim = _read_json(claim_path)
+            if claim is None:
+                # Mid-transition (being renewed or stolen right now);
+                # somebody else is on it.
+                return None
+            if claim["expires_at"] > wallclock.epoch():
+                return None
+            # Expired: steal.  os.rename succeeds for exactly one
+            # stealer; the loser's FileNotFoundError means someone beat
+            # us to it (or the original worker completed at the wire).
+            stale = claim_path.with_name(
+                f".{claim_path.name}.stale.{worker}.{os.getpid()}")
+            try:
+                os.rename(claim_path, stale)
+            except OSError:
+                return None
+            try:
+                os.unlink(stale)
+            except OSError:
+                # A leftover tombstone is cosmetic, never load-bearing.
+                pass  # simlint: disable=SIM008
+            attempt = int(claim.get("attempt", 0)) + 1
+        body = json.dumps(
+            {"worker": worker, "attempt": attempt,
+             "expires_at": wallclock.epoch() + lease_seconds,
+             "lease_seconds": lease_seconds},
+            sort_keys=True)
+        try:
+            handle = os.open(claim_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None  # lost the race to another claimer
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(body)
+        if self.has_result(index):
+            # The previous holder completed between our expiry check and
+            # our claim; undo and move on.
+            self.release(index)
+            return None
+        return ClaimedJob(index=index, spec=self.load_spec(index),
+                          attempt=attempt, claim_path=claim_path)
+
+    def renew(self, job: ClaimedJob,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+        """Extend the lease on a held claim (atomic rewrite)."""
+        body = json.dumps(
+            {"worker": _read_worker(job.claim_path), "attempt": job.attempt,
+             "expires_at": wallclock.epoch() + lease_seconds,
+             "lease_seconds": lease_seconds},
+            sort_keys=True)
+        _write_atomic(job.claim_path, body)
+
+    def release(self, index: int) -> None:
+        """Drop a claim without recording a result (graceful shutdown)."""
+        try:
+            os.unlink(self._claim_path(index))
+        except OSError:
+            # Already stolen or never created; nothing held either way.
+            return
+
+    # ------------------------------------------------------------------
+    # results
+
+    def complete(self, job: ClaimedJob, record: Dict[str, Any]) -> None:
+        """Persist a terminal result, then release the claim.
+
+        Idempotent: if a steal race double-ran the job, the second
+        writer atomically replaces the first with a byte-identical file
+        (deterministic jobs), so observers never see a conflict.
+        """
+        _write_atomic(self.result_path(job.index),
+                      json.dumps(record, sort_keys=True, indent=1))
+        self.release(job.index)
+
+    def is_drained(self) -> bool:
+        """Every job has a terminal result."""
+        return all(self.has_result(index) for index in self.job_indices())
+
+    # ------------------------------------------------------------------
+    # status
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time campaign progress for ``fabric status``."""
+        now = wallclock.epoch()
+        done = failed = running = stale = pending = 0
+        durations: List[float] = []
+        workers: Dict[str, int] = {}
+        for index in self.job_indices():
+            record = self.load_result(index)
+            if record is not None:
+                if record.get("status") == RESULT_DONE:
+                    done += 1
+                    duration = record.get("duration")
+                    if isinstance(duration, (int, float)) and duration > 0:
+                        durations.append(float(duration))
+                else:
+                    failed += 1
+                continue
+            claim = _read_json(self._claim_path(index))
+            if claim is None:
+                pending += 1
+            elif claim["expires_at"] > now:
+                running += 1
+                name = str(claim.get("worker", "?"))
+                workers[name] = workers.get(name, 0) + 1
+            else:
+                stale += 1
+        return {
+            "campaign_id": self.campaign_id,
+            "total": done + failed + running + stale + pending,
+            "done": done, "failed": failed, "running": running,
+            "stale": stale, "pending": pending,
+            "workers": {name: workers[name] for name in sorted(workers)},
+            "mean_duration": (sum(durations) / len(durations)
+                              if durations else None),
+        }
+
+    @staticmethod
+    def eta_seconds(snapshot: Dict[str, Any]) -> Optional[float]:
+        """Cross-pool ETA from a :meth:`snapshot`: mean seconds per
+        completed job, scaled by outstanding jobs over live workers.
+        Mirrors the runner's single-pool estimate, with the same guards
+        (no completions or a zero rate -> unknown, not zero)."""
+        outstanding = (snapshot["pending"] + snapshot["running"]
+                       + snapshot["stale"])
+        if outstanding <= 0:
+            return 0.0
+        mean = snapshot.get("mean_duration")
+        if not mean or mean <= 0:
+            return None
+        active = max(1, sum(snapshot["workers"].values()))
+        return mean * outstanding / active
+
+
+def _read_worker(claim_path: Path) -> str:
+    claim = _read_json(claim_path)
+    return str(claim.get("worker", "?")) if claim else "?"
+
+
+def list_campaigns(root: Union[str, Path]) -> List[CampaignQueue]:
+    """Every submitted campaign under a queue root, sorted by id."""
+    root = Path(root)
+    queues = []
+    if not root.is_dir():
+        return queues
+    for name in sorted(os.listdir(root)):
+        queue = CampaignQueue(root, name)
+        if queue.is_submitted():
+            queues.append(queue)
+    return queues
+
+
+def find_campaign(root: Union[str, Path],
+                  reference: Optional[str]) -> CampaignQueue:
+    """Resolve a campaign by id, id prefix, or name; ``None`` resolves
+    only when the root holds exactly one campaign."""
+    queues = list_campaigns(root)
+    if not queues:
+        raise QueueError(f"no submitted campaigns under {root}")
+    if reference is None:
+        if len(queues) == 1:
+            return queues[0]
+        ids = [queue.campaign_id for queue in queues]
+        raise QueueError(f"{root} holds {len(queues)} campaigns {ids}; "
+                         f"pass --campaign to pick one")
+    matches = [queue for queue in queues
+               if queue.campaign_id == reference
+               or queue.campaign_id.startswith(reference)
+               or queue.header().get("name") == reference]
+    if not matches:
+        raise QueueError(f"no campaign matching {reference!r} under {root}")
+    if len(matches) > 1:
+        ids = [queue.campaign_id for queue in matches]
+        raise QueueError(f"{reference!r} is ambiguous: {ids}")
+    return matches[0]

@@ -25,6 +25,11 @@ fault class         recovery path proven
                     exactly twice, in FIFO order, identically across runs
 ``starvation``      a zero-credit shaper raises ``StarvationError``
                     within the watchdog window instead of hanging
+``fabric-steal``    a campaign worker dies holding a claim (its lease
+                    left dangling, exactly the ``kill -9`` footprint);
+                    a second pool steals the job after lease expiry and
+                    the merged results database is bit-identical to a
+                    serial drain
 ==================  =====================================================
 
 Every fault parameter (kill target, corrupted byte, bomb cycle) is drawn
@@ -302,6 +307,54 @@ def fault_starvation(rng: random.Random, workdir: str) -> ChaosOutcome:
                         "zero-credit run completed without StarvationError")
 
 
+def fault_fabric_steal(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """A dead campaign worker's claim must be stolen, not waited on.
+
+    The victim is modelled by its exact post-``kill -9`` footprint: a
+    claim file with a short lease that is never renewed or completed.
+    A live pool must sit out the lease, steal the job, finish the
+    campaign, and merge a database bit-identical to a serial drain.
+    """
+    from ..fabric import (CampaignQueue, ResultsDb, parse_manifest,
+                          run_campaign_serial, work_campaign)
+
+    manifest = parse_manifest({
+        "name": "chaos-steal",
+        "fn": "repro.resilience.chaos:chaos_echo",
+        "grid": {"value": [rng.randrange(1 << 16) for _ in range(4)]},
+    })
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    run_campaign_serial(serial_queue)
+
+    fabric_root = os.path.join(workdir, "fabric")
+    fabric_queue = CampaignQueue.submit(fabric_root, manifest)
+    victim_claim = fabric_queue.claim_next("chaos-victim",
+                                           lease_seconds=0.5)
+    if victim_claim is None:
+        return ChaosOutcome("fabric-steal", False,
+                            "victim could not claim a job")
+    counters = work_campaign(fabric_queue, worker="chaos-survivor",
+                             jobs=1, pool=False, lease_seconds=0.5,
+                             poll_seconds=0.05)
+
+    with ResultsDb(os.path.join(workdir, "serial.sqlite")) as db:
+        db.merge_queue(serial_queue)
+        serial_print = db.fingerprint(serial_queue.campaign_id)
+    with ResultsDb(os.path.join(workdir, "fabric.sqlite")) as db:
+        db.merge_queue(fabric_queue)
+        fabric_print = db.fingerprint(fabric_queue.campaign_id)
+
+    ok = (counters["stolen"] >= 1 and counters["failed"] == 0
+          and fabric_queue.is_drained()
+          and serial_print == fabric_print)
+    return ChaosOutcome(
+        "fabric-steal", ok,
+        f"victim held job {victim_claim.index}; survivor executed "
+        f"{counters['executed']} ({counters['stolen']} stolen); "
+        f"fingerprint match={serial_print == fabric_print}")
+
+
 FAULTS: List[Callable[[random.Random, str], ChaosOutcome]] = [
     fault_worker_kill,
     fault_cache_corruption,
@@ -309,6 +362,7 @@ FAULTS: List[Callable[[random.Random, str], ChaosOutcome]] = [
     fault_clock_skew,
     fault_duplicate_events,
     fault_starvation,
+    fault_fabric_steal,
 ]
 
 

@@ -152,6 +152,11 @@ class RunnerConfig:
     #: save partial work here and *resume* it when retried after a
     #: worker death or timeout
     checkpoint_dir: Optional[str] = None
+    #: called with the sorted in-flight job ids on every pool wait tick
+    #: (and once per inline attempt); the fabric queue uses this to renew
+    #: job leases while long simulations run, so a *live* worker never
+    #: has its work stolen.  Must be cheap and must never raise.
+    heartbeat: Optional[Callable[[List[str]], None]] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -203,15 +208,19 @@ class Runner:
     # ------------------------------------------------------------------
     # public entry points
 
-    def run(self, specs: Sequence[JobSpec], inline: bool = False,
+    def run(self, specs: Sequence[JobSpec], inline: Optional[bool] = None,
             use_cache: bool = True, label: str = "sweep") -> SweepResult:
         """Execute ``specs``; see the module docstring for semantics.
 
-        ``inline=True`` runs jobs in *this* process (still cached, still
-        retried, failures still structured) -- used when the caller wants
-        the pool available for the jobs' own inner fan-outs.  Inline jobs
-        do not enforce timeouts: interrupting the driver's main thread
-        could tear simulator state mid-update.
+        ``inline`` is a tri-state: ``None`` (default) picks the pool when
+        ``jobs > 1`` and runs in-process otherwise; ``True`` forces
+        in-process execution (still cached, still retried, failures still
+        structured) -- used when the caller wants the pool available for
+        the jobs' own inner fan-outs; ``False`` forces the pool even with
+        ``jobs == 1`` -- used by the fabric worker so a single-slot pool
+        still gets SIGALRM timeouts and survives ``kill -9`` of a job.
+        Inline jobs do not enforce timeouts: interrupting the driver's
+        main thread could tear simulator state mid-update.
         """
         specs = list(specs)
         seen = set()
@@ -239,7 +248,8 @@ class Runner:
                 pending.append(_Pending(spec=spec, index=index))
 
         if pending:
-            if inline or not self.parallel:
+            use_inline = inline if inline is not None else not self.parallel
+            if use_inline:
                 self._run_inline(pending, outcomes, reporter, use_cache)
             else:
                 self._run_pool(pending, outcomes, reporter, use_cache)
@@ -267,6 +277,7 @@ class Runner:
             checkpoint = self._checkpoint_path_for(spec)
             while True:
                 item.attempts += 1
+                self._beat([spec.job_id])
                 started = wallclock.now()
                 try:
                     fn = spec.resolve()
@@ -339,6 +350,8 @@ class Runner:
                 wallclock.sleep(max(0.0, next_ready - wallclock.now()))
                 continue
 
+            self._beat(sorted(item.spec.job_id
+                              for item in in_flight.values()))
             done, _ = futures.wait(set(in_flight),
                                    timeout=_WAIT_TICK_SECONDS,
                                    return_when=futures.FIRST_COMPLETED)
@@ -407,6 +420,22 @@ class Runner:
 
     # ------------------------------------------------------------------
     # shared bookkeeping
+
+    def _beat(self, job_ids: List[str]) -> None:
+        """Forward in-flight job ids to the configured heartbeat.
+
+        A raising heartbeat would abort the whole sweep from a
+        coordination side-channel, so failures are contained here; the
+        lease simply is not renewed and the queue's normal expiry path
+        takes over.
+        """
+        if self.config.heartbeat is None:
+            return
+        try:
+            self.config.heartbeat(job_ids)
+        except Exception:
+            # Lease renewal is best-effort by design (see docstring).
+            return
 
     def _timeout_for(self, spec: JobSpec) -> Optional[float]:
         return spec.timeout if spec.timeout is not None \

@@ -58,12 +58,23 @@ class ProgressReporter:
         self._maybe_print(final=self.done >= self.total)
 
     def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion, or None when unknowable.
+
+        Guarded against every degenerate shape a sweep can take: an
+        empty or finished sweep is 0.0; no *computed* jobs yet (all
+        cache hits so far, or nothing finished) is None, not a division
+        by zero; an observed rate of zero seconds/job (timer resolution,
+        all-instant jobs) is also None -- extrapolating a zero rate
+        would promise eta 0 for work that has not run.
+        """
         remaining = self.total - self.done
         if remaining <= 0:
             return 0.0
-        if self._computed_jobs == 0:
+        if self._computed_jobs <= 0:
             return None
         mean = self._computed_seconds / self._computed_jobs
+        if mean <= 0.0:
+            return None
         return mean * remaining / max(1, self.jobs)
 
     # ------------------------------------------------------------------

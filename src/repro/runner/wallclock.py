@@ -30,6 +30,15 @@ def now() -> float:
     return time.monotonic()  # simlint: disable=SIM002
 
 
+def epoch() -> float:
+    """Epoch wall-clock seconds, for lease deadlines that must compare
+    across *processes* (the fabric queue's claim files).  ``now()`` is
+    monotonic per boot, not per process group; epoch time is the only
+    clock two independently started workers can agree on.  Never flows
+    into a result."""
+    return time.time()  # simlint: disable=SIM002
+
+
 def sleep(seconds: float) -> None:
     """Sleep the *driver* process (retry backoff); never simulation code."""
     if seconds > 0:

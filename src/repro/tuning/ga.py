@@ -152,7 +152,7 @@ class GeneticAlgorithm:
         best_genome: Optional[Genome] = None
         best_fitness = float("-inf")
 
-        for _ in range(self.params.generations):
+        for generation in range(self.params.generations):
             # Score only genomes the memo has never seen (elites carried
             # over -- and duplicate children -- cost zero evaluations);
             # fitness is deterministic, so memoisation cannot change the
@@ -168,6 +168,13 @@ class GeneticAlgorithm:
                 fresh.append(genome)
                 fresh_keys.append(key)
             if fresh:
+                # Batch evaluators that label work by generation (the
+                # fabric submits each batch as a campaign) opt in by
+                # exposing set_generation; plain callables are untouched.
+                announce = getattr(self.batch_evaluator,
+                                   "set_generation", None)
+                if announce is not None:
+                    announce(generation)
                 for key, score in zip(fresh_keys,
                                       self._evaluate_batch(fresh)):
                     memo[key] = score

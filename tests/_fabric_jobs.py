@@ -1,0 +1,56 @@
+"""Module-level job functions and evaluators for the fabric tests.
+
+Queue workers resolve callables by ``module:qualname`` path and pickle
+their arguments, so everything here must be importable at module scope
+(same convention as ``tests/_runner_jobs.py``).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def add_one(x):
+    return x + 1
+
+
+def scaled_metric(x, factor=10):
+    """Deterministic dict-valued job (exercises metric extraction)."""
+    return {"scaled": float(x * factor), "x": float(x)}
+
+
+def fail_on_odd(x):
+    """Deterministic ValueError for odd inputs (never retried)."""
+    if x % 2:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+def tabular_result(name, seed=1, scale="smoke"):
+    """A Result-shaped experiment payload (stored-figure round trip)."""
+    from repro.experiments.common import Result
+
+    rows = [[name, seed + offset, float((seed + offset) * 2)]
+            for offset in range(3)]
+    return Result(experiment=name, title=f"table for {name}",
+                  headers=["name", "point", "value"], rows=rows,
+                  summary={"points": float(len(rows)),
+                           "seed": float(seed)})
+
+
+@dataclass(frozen=True)
+class ToyEvaluator:
+    """Picklable, content-hashable stand-in for FitnessEvaluator.
+
+    Fitness peaks when every core's credit vector matches ``target`` --
+    the same synthetic objective the GA unit tests use, packaged as an
+    importable object so fabric workers can rebuild it.
+    """
+
+    target: Tuple[int, ...] = (3, 0, 0, 0, 0, 0, 0, 0, 0, 5)
+
+    def __call__(self, genome) -> float:
+        error = 0
+        for config in genome:
+            error += sum(abs(c - t)
+                         for c, t in zip(config.credits, self.target))
+        return -float(error)

@@ -162,3 +162,115 @@ class TestDiffCommand:
         before.mkdir(), after.mkdir()
         assert main(["--diff", str(before), str(after)]) == 1
         assert "no common experiment files" in capsys.readouterr().out
+
+
+class TestDiffSymmetry:
+    """Experiments present on only one side fail the diff both ways."""
+
+    def save(self, directory, name, summary):
+        from repro.experiments.common import Result
+        from repro.experiments.store import save_result
+
+        result = Result(experiment=name, title="t", headers=["h"],
+                        rows=[[1]], summary=dict(summary))
+        save_result(result, directory / f"{name}.json")
+
+    def test_missing_from_after_exits_nonzero(self, tmp_path, capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, "common", {"metric": 1.0})
+        self.save(before, "gone", {"metric": 1.0})
+        self.save(after, "common", {"metric": 1.0})
+        assert main(["--diff", str(before), str(after)]) == 1
+        out = capsys.readouterr().out
+        assert f"missing: gone present only in {before}" in out
+        assert "1 experiment(s) missing from one side" in out
+
+    def test_missing_from_before_exits_nonzero(self, tmp_path, capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, "common", {"metric": 1.0})
+        self.save(after, "common", {"metric": 1.0})
+        self.save(after, "novel", {"metric": 1.0})
+        assert main(["--diff", str(before), str(after)]) == 1
+        out = capsys.readouterr().out
+        assert f"missing: novel present only in {after}" in out
+
+    def test_symmetric_reporting_both_directions(self, tmp_path, capsys):
+        """Swapping the argument order reports the same missing set."""
+        left, right = tmp_path / "a", tmp_path / "b"
+        self.save(left, "common", {"metric": 1.0})
+        self.save(left, "leftonly", {"metric": 1.0})
+        self.save(right, "common", {"metric": 1.0})
+        self.save(right, "rightonly", {"metric": 1.0})
+        assert main(["--diff", str(left), str(right)]) == 1
+        forward = capsys.readouterr().out
+        assert main(["--diff", str(right), str(left)]) == 1
+        backward = capsys.readouterr().out
+        for out in (forward, backward):
+            assert "leftonly" in out
+            assert "rightonly" in out
+            assert "2 experiment(s) missing from one side" in out
+
+    def test_metric_missing_either_side_is_significant(self, tmp_path,
+                                                       capsys):
+        before, after = tmp_path / "a", tmp_path / "b"
+        self.save(before, "common", {"kept": 1.0, "dropped": 2.0})
+        self.save(after, "common", {"kept": 1.0, "added": 3.0})
+        assert main(["--diff", str(before), str(after)]) == 1
+        out = capsys.readouterr().out
+        assert "dropped" in out and "added" in out
+        assert "missing" in out  # rendered as a missing-side value
+
+
+class TestCacheFingerprintInterplay:
+    """--resume/--require-cached vs corruption and code changes."""
+
+    def test_code_fingerprint_change_defeats_resume(self, tmp_path,
+                                                    capsys, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["hw_cost", "--cache-dir", cache_dir,
+                     "--no-progress"]) == 0
+        capsys.readouterr()
+        # Same cache, same spec -- but the source tree "changed", so a
+        # resume that insists on cache hits must fail loudly rather
+        # than serve results computed by different code.
+        import repro.runner.cache as cache_module
+        monkeypatch.setattr(cache_module, "code_fingerprint",
+                            lambda: "a-different-source-tree")
+        assert main(["hw_cost", "--cache-dir", cache_dir, "--resume",
+                     "--require-cached", "--no-progress"]) == 1
+        out = capsys.readouterr().out
+        assert "cache hits: 0/1" in out
+        assert "--require-cached" in out
+        # the recompute was stored under the NEW fingerprint, so a
+        # plain resume against the changed tree now hits cleanly
+        assert main(["hw_cost", "--cache-dir", cache_dir, "--resume",
+                     "--no-progress"]) == 0
+        assert "cache hits: 1/1" in capsys.readouterr().out
+        # while the original tree's entry is untouched and still hit
+        monkeypatch.undo()
+        assert main(["hw_cost", "--cache-dir", cache_dir, "--resume",
+                     "--require-cached", "--no-progress"]) == 0
+        assert "cache hits: 1/1" in capsys.readouterr().out
+
+    def test_corrupt_entry_recomputed_then_cached_again(self, tmp_path,
+                                                        capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["hw_cost", "--cache-dir", str(cache_dir),
+                     "--no-progress"]) == 0
+        capsys.readouterr()
+        entries = list(cache_dir.rglob("*.pkl"))
+        assert len(entries) == 1
+        raw = bytearray(entries[0].read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        entries[0].write_bytes(bytes(raw))
+        # The corrupted entry is discarded, so --require-cached fails...
+        assert main(["hw_cost", "--cache-dir", str(cache_dir),
+                     "--resume", "--require-cached",
+                     "--no-progress"]) == 1
+        assert "cache hits: 0/1" in capsys.readouterr().out
+        # ...and that recovery run re-stored a good entry: the next
+        # resume is a clean hit again.
+        assert main(["hw_cost", "--cache-dir", str(cache_dir),
+                     "--resume", "--require-cached",
+                     "--no-progress"]) == 0
+        assert "cache hits: 1/1" in capsys.readouterr().out

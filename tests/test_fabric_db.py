@@ -1,0 +1,191 @@
+"""Results database: deterministic merge, fingerprint, query, plot."""
+
+import json
+
+import pytest
+
+from repro.fabric.db import (DbError, ResultsDb, encode_value,
+                             extract_metrics, write_csv)
+from repro.fabric.manifest import parse_manifest
+from repro.fabric.plot import (PlotError, render, render_svg,
+                               series_from_table)
+from repro.fabric.queue import CampaignQueue
+from repro.fabric.service import run_campaign_serial, work_campaign
+
+
+def drained_queue(tmp_path, sub="a", values=(1, 2, 3)):
+    manifest = parse_manifest({
+        "name": "dbtest", "fn": "tests._fabric_jobs:scaled_metric",
+        "grid": {"x": list(values)}})
+    queue = CampaignQueue.submit(tmp_path / sub, manifest)
+    run_campaign_serial(queue)
+    return queue
+
+
+class TestExtraction:
+    def test_result_summary_extracted(self):
+        class WithSummary:
+            summary = {"ipc": 1.5, "label": "x", "count": 3}
+        assert extract_metrics(WithSummary()) == {"count": 3.0,
+                                                  "ipc": 1.5}
+
+    def test_bare_numbers_and_dicts(self):
+        assert extract_metrics(2) == {"value": 2.0}
+        assert extract_metrics(2.5) == {"value": 2.5}
+        assert extract_metrics({"a": 1, "b": "text", "c": True}) \
+            == {"a": 1.0}
+        assert extract_metrics("nothing") == {}
+
+    def test_encode_value_dataclass_and_unjsonable(self):
+        from repro.experiments.common import Result
+        encoded = encode_value(Result(experiment="e", title="t",
+                                      headers=["h"], rows=[[1]]))
+        assert json.loads(encoded)["title"] == "t"
+        assert encode_value(object()) is None
+
+
+class TestMergeAndFingerprint:
+    def test_merge_then_query_table(self, tmp_path):
+        queue = drained_queue(tmp_path)
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            merged = db.merge_queue(queue)
+            assert merged == 3
+            headers, rows = db.table(queue.campaign_id)
+            assert headers[:5] == ["job_index", "job_id", "seed",
+                                   "scale", "status"]
+            assert "scaled" in headers and "x" in headers
+            scaled_at = headers.index("scaled")
+            assert [row[scaled_at] for row in rows] == [10.0, 20.0, 30.0]
+
+    def test_worker_topology_is_fingerprint_identical(self, tmp_path):
+        serial = drained_queue(tmp_path, "serial")
+        manifest = parse_manifest({
+            "name": "dbtest", "fn": "tests._fabric_jobs:scaled_metric",
+            "grid": {"x": [1, 2, 3]}})
+        pooled = CampaignQueue.submit(tmp_path / "pooled", manifest)
+        work_campaign(pooled, jobs=2, pool=True)
+        with ResultsDb(tmp_path / "a.sqlite") as db:
+            db.merge_queue(serial)
+            serial_print = db.fingerprint(serial.campaign_id)
+        with ResultsDb(tmp_path / "b.sqlite") as db:
+            db.merge_queue(pooled)
+            pooled_print = db.fingerprint(pooled.campaign_id)
+        assert serial_print == pooled_print
+
+    def test_fingerprint_ignores_provenance_only(self, tmp_path):
+        queue = drained_queue(tmp_path)
+        index = queue.job_indices()[0]
+        record = queue.load_result(index)
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            db.merge_queue(queue)
+            baseline = db.fingerprint(queue.campaign_id)
+
+            # provenance churn (steals, retries, other workers) must
+            # not move the fingerprint...
+            record.update(worker="someone-else", attempts=7,
+                          duration=99.0, lease_generation=4)
+            queue.results_dir.joinpath(f"{index:06d}.json").write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8")
+            db.merge_queue(queue)
+            assert db.fingerprint(queue.campaign_id) == baseline
+
+            # ...but any deterministic field must.
+            record["metrics"] = dict(record["metrics"], scaled=999.0)
+            queue.results_dir.joinpath(f"{index:06d}.json").write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8")
+            db.merge_queue(queue)
+            assert db.fingerprint(queue.campaign_id) != baseline
+
+    def test_remerge_is_idempotent(self, tmp_path):
+        queue = drained_queue(tmp_path)
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            db.merge_queue(queue)
+            first = db.fingerprint(queue.campaign_id)
+            db.merge_queue(queue)
+            assert db.fingerprint(queue.campaign_id) == first
+            _, rows = db.query("SELECT COUNT(*) FROM results")
+            assert rows[0][0] == 3
+
+
+class TestQuery:
+    def test_sql_over_metrics(self, tmp_path):
+        queue = drained_queue(tmp_path)
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            db.merge_queue(queue)
+            headers, rows = db.query(
+                "SELECT name, SUM(value) FROM metrics "
+                "WHERE name = 'scaled' GROUP BY name")
+            assert rows == [("scaled", 60.0)]
+
+    def test_mutation_refused(self, tmp_path):
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            with pytest.raises(DbError, match="only SELECT"):
+                db.query("DELETE FROM results")
+            with pytest.raises(DbError):
+                db.query("DROP TABLE results")
+
+    def test_unknown_campaign_raises(self, tmp_path):
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            with pytest.raises(DbError, match="not in this database"):
+                db.table("nope")
+
+    def test_stored_result_rows_round_trip(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "figs", "fn": "tests._fabric_jobs:tabular_result",
+            "fixed": {"name": "fig_x"}, "grid": {"seed": [4]}})
+        queue = CampaignQueue.submit(tmp_path / "q", manifest)
+        run_campaign_serial(queue)
+        with ResultsDb(tmp_path / "r.sqlite") as db:
+            db.merge_queue(queue)
+            headers, rows, title = db.stored_result_rows(
+                queue.campaign_id, "figs:00000")
+            assert headers == ["name", "point", "value"]
+            assert rows == [["fig_x", 4, 8.0], ["fig_x", 5, 10.0],
+                            ["fig_x", 6, 12.0]]
+            assert title == "table for fig_x"
+            with pytest.raises(DbError, match="no stored value"):
+                db.stored_result_rows(queue.campaign_id, "missing")
+
+
+class TestCsvAndPlot:
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = write_csv(["a", "b"], [[1, None], ["x,y", 2.5]], path)
+        assert path.read_text(encoding="utf-8") == text
+        assert text.splitlines() == ["a,b", "1,", '"x,y",2.5']
+
+    def test_series_from_table_groups_and_sorts(self):
+        headers = ["x", "y", "kind", "status"]
+        rows = [[2, 20.0, "a", "done"], [1, 10.0, "a", "done"],
+                [1, 5.0, "b", "done"], [3, None, "a", "pending"]]
+        series = series_from_table(headers, rows, x="x", y="y",
+                                   group_by="kind")
+        assert series == {"kind=a": [(1.0, 10.0), (2.0, 20.0)],
+                          "kind=b": [(1.0, 5.0)]}
+
+    def test_series_errors(self):
+        with pytest.raises(PlotError, match="no column"):
+            series_from_table(["x"], [[1]], x="x", y="y")
+        with pytest.raises(PlotError, match="no numeric"):
+            series_from_table(["x", "y"], [["a", None]], x="x", y="y")
+
+    def test_svg_renders_axes_series_legend(self):
+        svg = render_svg({"s1": [(0.0, 1.0), (1.0, 2.0)],
+                          "s2": [(0.0, 2.0), (1.0, 1.0)]},
+                         title="T & co", x_label="x", y_label="y")
+        assert svg.startswith("<svg")
+        assert svg.count("<path") == 2
+        assert "T &amp; co" in svg
+        assert "s1" in svg and "s2" in svg
+
+    def test_flat_series_has_nondegenerate_axis(self):
+        svg = render_svg({"flat": [(1.0, 5.0), (2.0, 5.0)]},
+                         title="t", x_label="x", y_label="y")
+        assert "<path" in svg
+
+    def test_render_falls_back_to_svg_without_matplotlib(self, tmp_path):
+        out = render({"s": [(0.0, 0.0), (1.0, 1.0)]}, "t", "x", "y",
+                     tmp_path / "fig.png")
+        # either matplotlib produced the png or the svg fallback fired
+        assert out.exists()
+        assert out.suffix in (".png", ".svg")

@@ -1,0 +1,223 @@
+"""End-to-end fabric scenarios: drains, failures, GA batches, CLI,
+and the two-pool kill/steal/fingerprint acceptance run."""
+
+import json
+
+import pytest
+
+from repro.core.bins import BinSpec
+from repro.fabric import (CampaignQueue, FabricBatchEvaluator, ResultsDb,
+                          parse_manifest, run_campaign_serial,
+                          work_campaign)
+from repro.fabric.__main__ import main as fabric_main
+from repro.runner import Runner, RunnerConfig
+from repro.runner.jobspec import JobSpec
+from repro.tuning.ga import GaParams, GeneticAlgorithm
+from tests._fabric_jobs import ToyEvaluator
+
+
+class TestWorkCampaign:
+    def test_pool_drain_matches_serial(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "e2e", "fn": "tests._fabric_jobs:scaled_metric",
+            "grid": {"x": [1, 2, 3, 4, 5]}})
+        serial = CampaignQueue.submit(tmp_path / "serial", manifest)
+        pooled = CampaignQueue.submit(tmp_path / "pooled", manifest)
+        assert run_campaign_serial(serial)["done"] == 5
+        counters = work_campaign(pooled, jobs=2, pool=True)
+        assert counters == {"executed": 5, "done": 5, "failed": 0,
+                            "stolen": 0}
+        with ResultsDb(tmp_path / "a.sqlite") as db:
+            db.merge_queue(serial)
+            left = db.fingerprint(serial.campaign_id)
+        with ResultsDb(tmp_path / "b.sqlite") as db:
+            db.merge_queue(pooled)
+            assert db.fingerprint(pooled.campaign_id) == left
+
+    def test_deterministic_failures_recorded_not_retried(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "odd", "fn": "tests._fabric_jobs:fail_on_odd",
+            "grid": {"x": [1, 2, 3]}})
+        queue = CampaignQueue.submit(tmp_path, manifest)
+        counters = work_campaign(queue, jobs=1, pool=False)
+        assert counters["done"] == 1
+        assert counters["failed"] == 2
+        assert queue.is_drained()  # failures are terminal, not dangling
+        record = queue.load_result(0)
+        assert record["status"] == "failed"
+        assert "ValueError" in record["error"]
+        assert record["attempts"] == 1  # deterministic: never retried
+
+    def test_failed_campaign_is_still_deterministic(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "odd", "fn": "tests._fabric_jobs:fail_on_odd",
+            "grid": {"x": [1, 2, 3]}})
+        prints = []
+        for sub in ("a", "b"):
+            queue = CampaignQueue.submit(tmp_path / sub, manifest)
+            work_campaign(queue, jobs=1, pool=False)
+            with ResultsDb(tmp_path / f"{sub}.sqlite") as db:
+                db.merge_queue(queue)
+                prints.append(db.fingerprint(queue.campaign_id))
+        assert prints[0] == prints[1]
+
+    def test_max_jobs_bounds_execution(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "cap", "fn": "tests._fabric_jobs:add_one",
+            "grid": {"x": [1, 2, 3, 4]}})
+        queue = CampaignQueue.submit(tmp_path, manifest)
+        counters = work_campaign(queue, pool=False, max_jobs=2,
+                                 wait_for_drain=False)
+        assert counters["executed"] == 2
+        assert not queue.is_drained()
+
+
+class TestHeartbeat:
+    def test_heartbeat_sees_in_flight_job_ids(self):
+        beats = []
+        config = RunnerConfig(jobs=1, heartbeat=beats.append)
+        with Runner(config) as runner:
+            runner.run([JobSpec.create("hb", "tests._fabric_jobs:add_one",
+                                       1)])
+        assert ["hb"] in beats
+
+    def test_raising_heartbeat_is_contained(self):
+        def explode(job_ids):
+            raise RuntimeError("renewal outage")
+        config = RunnerConfig(jobs=1, heartbeat=explode)
+        with Runner(config) as runner:
+            sweep = runner.run([JobSpec.create(
+                "hb", "tests._fabric_jobs:add_one", 41)])
+        assert sweep["hb"].value == 42
+
+    def test_worker_heartbeat_keeps_lease_alive(self, tmp_path):
+        manifest = parse_manifest({
+            "name": "lease", "fn": "tests._fabric_jobs:add_one",
+            "grid": {"x": [1]}})
+        queue = CampaignQueue.submit(tmp_path, manifest)
+        # Drain with an extremely short lease: without in-run renewal a
+        # second claimant could steal mid-execution; with the heartbeat
+        # the single worker finishes untroubled.
+        counters = work_campaign(queue, jobs=1, pool=False,
+                                 lease_seconds=0.05)
+        assert counters == {"executed": 1, "done": 1, "failed": 0,
+                            "stolen": 0}
+
+
+class TestGaBatches:
+    def test_fabric_ga_matches_plain_ga(self, tmp_path):
+        evaluator = ToyEvaluator()
+        params = GaParams(generations=3, population=5, seed=9)
+        plain = GeneticAlgorithm(evaluator, BinSpec(), 2, params).run()
+
+        fabric_eval = FabricBatchEvaluator(evaluator, tmp_path / "ga",
+                                           label="t")
+        fabric = GeneticAlgorithm(evaluator, BinSpec(), 2, params,
+                                  batch_evaluator=fabric_eval).run()
+        assert fabric.history == plain.history
+        assert fabric.best_genome == plain.best_genome
+        assert fabric.evaluations == plain.evaluations
+        # one campaign batch per generation that had fresh genomes
+        assert 1 <= len(fabric_eval.campaign_ids) <= params.generations
+        assert fabric_eval.generation == params.generations - 1
+
+    def test_batches_are_resumable_campaigns(self, tmp_path):
+        evaluator = ToyEvaluator()
+        fabric_eval = FabricBatchEvaluator(evaluator, tmp_path / "ga",
+                                           label="t")
+        params = GaParams(generations=2, population=4, seed=3)
+        GeneticAlgorithm(evaluator, BinSpec(), 1, params,
+                         batch_evaluator=fabric_eval).run()
+        for campaign_id in fabric_eval.campaign_ids:
+            queue = CampaignQueue(tmp_path / "ga", campaign_id)
+            assert queue.is_submitted()
+            assert queue.is_drained()
+
+
+class TestCli:
+    def submit(self, tmp_path, capsys):
+        manifest_path = tmp_path / "sweep.json"
+        manifest_path.write_text(json.dumps({
+            "name": "cli", "fn": "tests._fabric_jobs:scaled_metric",
+            "grid": {"x": [1, 2, 3]}}), encoding="utf-8")
+        root = str(tmp_path / "runs")
+        assert fabric_main(["submit", str(manifest_path),
+                            "--queue-root", root]) == 0
+        out = capsys.readouterr().out
+        assert "3 jobs" in out
+        return root
+
+    def test_submit_work_status_query_plot(self, tmp_path, capsys):
+        root = self.submit(tmp_path, capsys)
+        assert fabric_main(["work", root, "--inline", "--no-wait"]) == 0
+        assert "3 done" in capsys.readouterr().out
+
+        assert fabric_main(["status", root]) == 0
+        assert "3/3 done" in capsys.readouterr().out
+
+        csv_path = tmp_path / "out.csv"
+        assert fabric_main(["query", root, "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scaled" in out
+        assert csv_path.read_text(encoding="utf-8").count("\n") == 4
+
+        assert fabric_main(["query", root, "--sql",
+                            "SELECT COUNT(*) FROM results"]) == 0
+        assert "3" in capsys.readouterr().out
+
+        figure = tmp_path / "fig.svg"
+        assert fabric_main(["plot", root, "-x", "x", "-y", "scaled",
+                            "-o", str(figure)]) == 0
+        capsys.readouterr()
+        assert figure.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_query_fingerprint_stable_across_workers(self, tmp_path,
+                                                     capsys):
+        root = self.submit(tmp_path, capsys)
+        assert fabric_main(["work", root, "--inline", "--no-wait"]) == 0
+        capsys.readouterr()
+        assert fabric_main(["query", root, "--fingerprint"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert fabric_main(["query", root, "--fingerprint"]) == 0
+        assert capsys.readouterr().out.strip() == first
+        assert len(first) == 64
+
+    def test_errors_exit_2(self, tmp_path, capsys):
+        assert fabric_main(["work", str(tmp_path / "empty")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_jobs_exit_nonzero(self, tmp_path, capsys):
+        manifest_path = tmp_path / "bad.json"
+        manifest_path.write_text(json.dumps({
+            "name": "bad", "fn": "tests._fabric_jobs:fail_on_odd",
+            "grid": {"x": [1]}}), encoding="utf-8")
+        root = str(tmp_path / "runs")
+        assert fabric_main(["submit", str(manifest_path),
+                            "--queue-root", root]) == 0
+        assert fabric_main(["work", root, "--inline", "--no-wait"]) == 1
+        capsys.readouterr()
+
+
+@pytest.mark.usefixtures("tmp_path")
+class TestKillRecovery:
+    """The acceptance scenario, scaled down for the tier-1 suite.
+
+    Two subprocess worker pools drain one simulation campaign; one is
+    seeded to die ``kill -9``-style after claiming a job.  The survivor
+    must steal the orphaned claim after lease expiry, the campaign must
+    drain completely, and the merged database must be bit-identical to
+    a serial drain (the CI ``fabric-smoke`` job runs the same scenario
+    bigger, via ``python -m repro.fabric selfcheck``).
+    """
+
+    def test_two_pools_one_killed(self, tmp_path):
+        from repro.fabric.selfcheck import run_selfcheck
+
+        report = run_selfcheck(tmp_path, num_jobs=6, cycles=1_200,
+                               echo=lambda *_args: None)
+        assert report["victim_exit"] == 137
+        assert report["survivor_exit"] == 0
+        assert report["done"] == 6
+        assert report["stolen"] >= 1
+        assert report["fingerprints_match"], report
+        assert report["ok"], report

@@ -1,0 +1,153 @@
+"""Manifest parsing, validation, and deterministic expansion."""
+
+import json
+
+import pytest
+
+from repro.fabric.manifest import (Manifest, ManifestError, figure_manifest,
+                                   parse_manifest)
+
+BASE = {
+    "name": "sweep",
+    "fn": "tests._fabric_jobs:add_one",
+    "grid": {"x": [1, 2, 3]},
+}
+
+
+class TestParsing:
+    def test_minimal_manifest(self):
+        manifest = parse_manifest(dict(BASE))
+        assert manifest.name == "sweep"
+        assert manifest.num_jobs() == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ManifestError, match="unknown manifest key"):
+            parse_manifest(dict(BASE, gird={"x": [1]}))
+
+    def test_name_required_and_clean(self):
+        with pytest.raises(ManifestError, match="name"):
+            parse_manifest({"fn": "a:b", "grid": {"x": [1]}})
+        with pytest.raises(ManifestError, match="must not contain"):
+            parse_manifest(dict(BASE, name="bad name"))
+
+    def test_fn_needs_module_colon_qualname(self):
+        with pytest.raises(ManifestError, match="module:qualname"):
+            parse_manifest(dict(BASE, fn="no_colon"))
+
+    def test_grid_axis_must_be_nonempty_list(self):
+        with pytest.raises(ManifestError, match="non-empty"):
+            parse_manifest(dict(BASE, grid={"x": []}))
+
+    def test_zip_axes_must_share_length(self):
+        with pytest.raises(ManifestError, match="share one length"):
+            parse_manifest({"name": "z", "fn": "a:b",
+                            "zip": {"x": [1, 2], "y": [1]}})
+
+    def test_overlapping_parameters_rejected(self):
+        with pytest.raises(ManifestError, match="more than one"):
+            parse_manifest(dict(BASE, fixed={"x": 9}))
+
+    def test_policy_validated(self):
+        with pytest.raises(ManifestError, match="policy.timeout"):
+            parse_manifest(dict(BASE, policy={"timeout": -1}))
+        with pytest.raises(ManifestError, match="retries"):
+            parse_manifest(dict(BASE, policy={"retries": -1}))
+        with pytest.raises(ManifestError, match="unknown policy"):
+            parse_manifest(dict(BASE, policy={"retry": 1}))
+
+    def test_parameter_names_must_be_identifiers(self):
+        with pytest.raises(ManifestError, match="keyword argument"):
+            parse_manifest({"name": "b", "fn": "a:b",
+                            "grid": {"not-a-kwarg": [1]}})
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(BASE), encoding="utf-8")
+        assert parse_manifest(path).campaign_id() \
+            == parse_manifest(dict(BASE)).campaign_id()
+
+    def test_yaml_file_round_trip(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "sweep.yaml"
+        path.write_text(yaml.safe_dump(BASE), encoding="utf-8")
+        assert parse_manifest(path).campaign_id() \
+            == parse_manifest(dict(BASE)).campaign_id()
+
+
+class TestExpansion:
+    def test_expansion_is_deterministic(self):
+        first = parse_manifest(dict(BASE)).expand()
+        second = parse_manifest(dict(BASE)).expand()
+        assert [s.spec_hash() for s in first] \
+            == [s.spec_hash() for s in second]
+        assert [s.job_id for s in first] == [s.job_id for s in second]
+
+    def test_campaign_id_tracks_declared_work(self):
+        base_id = parse_manifest(dict(BASE)).campaign_id()
+        changed = parse_manifest(dict(BASE, grid={"x": [1, 2, 4]}))
+        assert changed.campaign_id() != base_id
+        # key order in the document must not matter
+        reordered = parse_manifest(
+            {"grid": {"x": [1, 2, 3]}, "fn": BASE["fn"],
+             "name": BASE["name"]})
+        assert reordered.campaign_id() == base_id
+
+    def test_grid_odometer_order_sorted_keys(self):
+        manifest = parse_manifest({
+            "name": "g", "fn": "a:b",
+            "grid": {"b": [10, 20], "a": [1, 2]}})
+        points = [dict(spec.kwargs) for spec in manifest.expand()]
+        assert points == [{"a": 1, "b": 10}, {"a": 1, "b": 20},
+                          {"a": 2, "b": 10}, {"a": 2, "b": 20}]
+
+    def test_zip_rows_advance_in_lockstep(self):
+        manifest = parse_manifest({
+            "name": "z", "fn": "a:b",
+            "grid": {"mode": ["fast", "slow"]},
+            "zip": {"x": [1, 2], "y": [10, 20]}})
+        points = [dict(spec.kwargs) for spec in manifest.expand()]
+        assert points == [
+            {"mode": "fast", "x": 1, "y": 10},
+            {"mode": "fast", "x": 2, "y": 20},
+            {"mode": "slow", "x": 1, "y": 10},
+            {"mode": "slow", "x": 2, "y": 20}]
+        assert manifest.num_jobs() == len(points)
+
+    def test_seed_and_scale_promoted_to_spec_fields(self):
+        manifest = parse_manifest({
+            "name": "s", "fn": "a:b",
+            "fixed": {"scale": "smoke"},
+            "grid": {"seed": [1, 2]}})
+        specs = manifest.expand()
+        assert [spec.seed for spec in specs] == [1, 2]
+        assert all(spec.scale == "smoke" for spec in specs)
+        # and they stay in kwargs for the call itself
+        assert all(dict(spec.kwargs)["scale"] == "smoke"
+                   for spec in specs)
+
+    def test_job_ids_zero_padded_and_stable(self):
+        specs = parse_manifest(dict(BASE)).expand()
+        assert [spec.job_id for spec in specs] \
+            == ["sweep:00000", "sweep:00001", "sweep:00002"]
+
+    def test_policy_applied_to_every_spec(self):
+        manifest = parse_manifest(
+            dict(BASE, policy={"timeout": 30, "retries": 5}))
+        for spec in manifest.expand():
+            assert spec.timeout == 30.0
+            assert spec.retries == 5
+
+
+class TestFigureManifest:
+    def test_builds_experiment_grid(self):
+        manifest = figure_manifest(["fig12", "fig02"], scale="smoke",
+                                   seeds=[1, 2])
+        assert isinstance(manifest, Manifest)
+        assert manifest.fn == "repro.experiments:run_experiment"
+        assert manifest.num_jobs() == 4
+        names = {dict(spec.kwargs)["name"] for spec in manifest.expand()}
+        assert names == {"fig02", "fig12"}
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ManifestError):
+            figure_manifest([])

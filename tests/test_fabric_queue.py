@@ -1,0 +1,197 @@
+"""The claim/lease/steal protocol and queue bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.fabric.manifest import parse_manifest
+from repro.fabric.queue import (CampaignQueue, QueueError, decode_spec,
+                                encode_spec, find_campaign, list_campaigns)
+from repro.runner.jobspec import JobSpec
+from tests._fabric_jobs import ToyEvaluator
+
+
+def make_queue(tmp_path, values=(1, 2, 3), name="q") -> CampaignQueue:
+    manifest = parse_manifest({
+        "name": name, "fn": "tests._fabric_jobs:add_one",
+        "grid": {"x": list(values)}})
+    return CampaignQueue.submit(tmp_path / "root", manifest)
+
+
+class TestCodec:
+    def test_json_round_trip(self):
+        spec = JobSpec.create("j", "tests._fabric_jobs:add_one", 5,
+                              seed=3, scale="smoke")
+        index, decoded = decode_spec(encode_spec(spec, 7))
+        assert index == 7
+        assert decoded == spec
+        assert decoded.spec_hash() == spec.spec_hash()
+
+    def test_pickle_fallback_for_objects(self):
+        evaluator = ToyEvaluator()
+        spec = JobSpec.create(
+            "j", "repro.experiments.common:_score_genome", evaluator, [])
+        document = encode_spec(spec, 0)
+        assert document["args"]["format"] == "pickle"
+        _, decoded = decode_spec(document)
+        assert decoded.args[0] == evaluator
+
+    def test_damaged_entry_detected(self):
+        spec = JobSpec.create("j", "tests._fabric_jobs:add_one", 5)
+        document = encode_spec(spec, 0)
+        document["args"] = {"format": "json", "data": "[6]"}
+        with pytest.raises(QueueError, match="damaged"):
+            decode_spec(document)
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self, tmp_path):
+        first = make_queue(tmp_path)
+        job = first.claim_next("w")
+        first.complete(job, {"status": "done", "job_index": job.index})
+        again = make_queue(tmp_path)
+        assert again.campaign_id == first.campaign_id
+        assert again.has_result(job.index)  # prior work survived
+
+    def test_submit_specs_batch(self, tmp_path):
+        specs = [JobSpec.create(f"b[{i}]", "tests._fabric_jobs:add_one", i)
+                 for i in range(3)]
+        queue = CampaignQueue.submit_specs(tmp_path, "batch", specs)
+        assert queue.job_indices() == [0, 1, 2]
+        assert queue.header()["name"] == "batch"
+        dedup = CampaignQueue.submit_specs(tmp_path, "batch", specs)
+        assert dedup.campaign_id == queue.campaign_id
+
+    def test_empty_batch_rejected(self, tmp_path):
+        with pytest.raises(QueueError):
+            CampaignQueue.submit_specs(tmp_path, "empty", [])
+
+    def test_header_missing_raises(self, tmp_path):
+        queue = CampaignQueue(tmp_path, "nonexistent")
+        assert not queue.is_submitted()
+        with pytest.raises(QueueError):
+            queue.header()
+
+
+class TestClaims:
+    def test_claims_in_index_order_exactly_once(self, tmp_path):
+        queue = make_queue(tmp_path)
+        first = queue.claim_next("a")
+        second = queue.claim_next("b")
+        third = queue.claim_next("c")
+        assert [first.index, second.index, third.index] == [0, 1, 2]
+        assert queue.claim_next("d") is None  # all leases live
+
+    def test_live_lease_not_stolen(self, tmp_path):
+        queue = make_queue(tmp_path)
+        held = queue.claim_next("a", lease_seconds=3600)
+        other = queue.claim_next("b", lease_seconds=3600)
+        assert held.index != other.index
+
+    def test_expired_lease_stolen_with_attempt_bump(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        victim = queue.claim_next("dead", lease_seconds=0.0)
+        assert victim.attempt == 1
+        stolen = queue.claim_next("thief", lease_seconds=3600)
+        assert stolen is not None
+        assert stolen.index == victim.index
+        assert stolen.attempt == 2
+
+    def test_renew_extends_lease(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        job = queue.claim_next("a", lease_seconds=0.0)
+        queue.renew(job, lease_seconds=3600)
+        assert queue.claim_next("thief") is None
+
+    def test_release_reopens_job(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        job = queue.claim_next("a", lease_seconds=3600)
+        queue.release(job.index)
+        assert queue.claim_next("b").index == job.index
+
+    def test_complete_records_result_and_releases(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        job = queue.claim_next("a")
+        queue.complete(job, {"status": "done", "job_index": job.index,
+                             "metrics": {"value": 2.0}})
+        assert queue.is_drained()
+        assert queue.load_result(job.index)["metrics"] == {"value": 2.0}
+        assert queue.claim_next("b") is None  # done jobs never re-claimed
+
+    def test_completed_jobs_skipped_even_with_stale_claim(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1, 2))
+        job = queue.claim_next("a", lease_seconds=0.0)
+        # The holder completes at the wire (claim file still present
+        # and expired) -- a would-be thief must see the result and
+        # move on to the next job, not double-claim this one.
+        queue.results_dir.joinpath(f"{job.index:06d}.json").write_text(
+            json.dumps({"status": "done", "job_index": job.index}),
+            encoding="utf-8")
+        other = queue.claim_next("thief")
+        assert other.index != job.index
+
+
+class TestStatus:
+    def test_snapshot_counts(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1, 2, 3, 4))
+        done_job = queue.claim_next("a")
+        queue.complete(done_job, {"status": "done",
+                                  "job_index": done_job.index,
+                                  "duration": 2.0})
+        queue.claim_next("a", lease_seconds=3600)   # running
+        queue.claim_next("dead", lease_seconds=0.0)  # stale
+        snapshot = queue.snapshot()
+        assert snapshot["done"] == 1
+        assert snapshot["running"] == 1
+        assert snapshot["stale"] == 1
+        assert snapshot["pending"] == 1
+        assert snapshot["workers"] == {"a": 1}
+        assert snapshot["mean_duration"] == 2.0
+
+    def test_eta_guards(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1, 2))
+        # nothing completed yet -> unknown, not a division by zero
+        assert CampaignQueue.eta_seconds(queue.snapshot()) is None
+        job = queue.claim_next("a")
+        queue.complete(job, {"status": "done", "job_index": job.index,
+                             "duration": 0.0})
+        # zero observed rate -> still unknown, not eta 0
+        assert CampaignQueue.eta_seconds(queue.snapshot()) is None
+        job = queue.claim_next("a")
+        queue.complete(job, {"status": "done", "job_index": job.index,
+                             "duration": 1.0})
+        # everything terminal -> 0.0
+        assert CampaignQueue.eta_seconds(queue.snapshot()) == 0.0
+
+    def test_eta_scales_by_live_workers(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1, 2, 3, 4))
+        job = queue.claim_next("a")
+        queue.complete(job, {"status": "done", "job_index": job.index,
+                             "duration": 4.0})
+        solo = CampaignQueue.eta_seconds(queue.snapshot())
+        assert solo == pytest.approx(12.0)  # 3 outstanding x 4s / 1
+
+
+class TestDiscovery:
+    def test_find_by_id_prefix_and_name(self, tmp_path):
+        queue = make_queue(tmp_path, name="alpha")
+        root = tmp_path / "root"
+        assert find_campaign(root, queue.campaign_id).campaign_id \
+            == queue.campaign_id
+        assert find_campaign(root, queue.campaign_id[:6]).campaign_id \
+            == queue.campaign_id
+        assert find_campaign(root, "alpha").campaign_id \
+            == queue.campaign_id
+        assert find_campaign(root, None).campaign_id == queue.campaign_id
+
+    def test_ambiguity_and_misses_raise(self, tmp_path):
+        make_queue(tmp_path, values=(1,), name="one")
+        make_queue(tmp_path, values=(2,), name="two")
+        root = tmp_path / "root"
+        assert len(list_campaigns(root)) == 2
+        with pytest.raises(QueueError, match="pass --campaign"):
+            find_campaign(root, None)
+        with pytest.raises(QueueError, match="no campaign matching"):
+            find_campaign(root, "zzz")
+        with pytest.raises(QueueError, match="no submitted campaigns"):
+            find_campaign(tmp_path / "elsewhere", None)

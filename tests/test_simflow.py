@@ -306,6 +306,28 @@ class TestPickleSafety:
         assert len(problems) == 1
         assert "missing" in problems[0].detail
 
+    def test_self_attribute_str_field_is_not_a_bound_method(self):
+        # A declared `fn: str` field carries a module:qualname path (the
+        # fabric's Manifest.expand idiom); only an actual method on the
+        # class is a violation.
+        program, graph = build({"src/repro/sweeps.py": (
+            "class JobSpec:\n"
+            "    @staticmethod\n"
+            "    def create(name, fn):\n"
+            "        return (name, fn)\n"
+            "class Template:\n"
+            "    fn: str\n"
+            "    def score(self, value):\n"
+            "        return value\n"
+            "    def from_path(self):\n"
+            "        return JobSpec.create('a', self.fn)\n"
+            "    def from_method(self):\n"
+            "        return JobSpec.create('b', self.score)\n"),
+        })
+        problems = jobspec_violations(program, graph)
+        assert len(problems) == 1
+        assert "self.score is a bound method" in problems[0].detail
+
 
 class TestBaselineV2:
     def test_pass_partition(self):
