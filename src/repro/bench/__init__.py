@@ -22,9 +22,10 @@ sanctioned real-time access point, and never flow into simulation state.
 
 from __future__ import annotations
 
+import cProfile
 import json
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..runner import wallclock
 from ..sim.system import (SCALED_MULTI_CONFIG, SCALED_SINGLE_CONFIG,
@@ -47,17 +48,21 @@ class BenchWorkload:
     """One named, seeded simulator configuration to time."""
 
     name: str
-    build: Callable[[], SimSystem]
+    #: builds a fresh system; accepts an optional kernel override so
+    #: ``--verify-kernels`` can pin both engines explicitly
+    build: Callable[..., SimSystem]
 
 
-def _build_single() -> SimSystem:
-    return SimSystem([trace_for("mcf", seed=7)],
-                     config=SCALED_SINGLE_CONFIG)
+def _build_single(kernel: Optional[str] = None) -> SimSystem:
+    config = SCALED_SINGLE_CONFIG if kernel is None \
+        else replace(SCALED_SINGLE_CONFIG, kernel=kernel)
+    return SimSystem([trace_for("mcf", seed=7)], config=config)
 
 
-def _build_mix4() -> SimSystem:
-    return SimSystem(workload_traces(1, seed=7),
-                     config=SCALED_MULTI_CONFIG)
+def _build_mix4(kernel: Optional[str] = None) -> SimSystem:
+    config = SCALED_MULTI_CONFIG if kernel is None \
+        else replace(SCALED_MULTI_CONFIG, kernel=kernel)
+    return SimSystem(workload_traces(1, seed=7), config=config)
 
 
 WORKLOADS = (
@@ -95,21 +100,141 @@ def time_workload(workload: BenchWorkload, cycles: int,
     }
 
 
-def run_benchmarks(quick: bool = False,
-                   workload_names: Optional[List[str]] = None) -> Dict:
-    """Run the selected workloads and return the result document."""
-    cycles = QUICK_CYCLES if quick else FULL_CYCLES
-    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+def _select(workload_names: Optional[List[str]]) -> List[BenchWorkload]:
     selected = [w for w in WORKLOADS
                 if workload_names is None or w.name in workload_names]
     if not selected:
         known = [w.name for w in WORKLOADS]
         raise ValueError(f"no matching workloads; known: {known}")
+    return selected
+
+
+def run_benchmarks(quick: bool = False,
+                   workload_names: Optional[List[str]] = None,
+                   repeats: Optional[int] = None) -> Dict:
+    """Run the selected workloads and return the result document.
+
+    ``repeats`` overrides the mode's default repeat count (``--repeat N``
+    on the CLI): more repeats tighten the best-of estimate on noisy
+    machines without touching the committed cycle counts.
+    """
+    cycles = QUICK_CYCLES if quick else FULL_CYCLES
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    selected = _select(workload_names)
     results = {w.name: time_workload(w, cycles, repeats) for w in selected}
     return {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
         "workloads": results,
+    }
+
+
+#: ``(path fragment, function prefix, subsystem)`` attribution rules for
+#: ``--breakdown``; first match wins.  ``batched.py`` hosts fused methods
+#: of three different components, so its entries discriminate on the
+#: function name before the module rules apply.
+_BREAKDOWN_RULES: Tuple[Tuple[str, Optional[str], str], ...] = (
+    ("sim/batched", "_run", "core"),
+    ("sim/batched", "lookup", "llc"),
+    ("sim/batched", None, "memctrl+dram"),
+    ("sim/wheel", None, "engine"),
+    ("sim/engine", None, "engine"),
+    ("sim/core_model", None, "core"),
+    ("sim/ooo_core", None, "core"),
+    ("sim/cache", None, "core"),
+    ("sim/llc", None, "llc"),
+    ("sim/noc", None, "llc"),
+    ("sim/memctrl", None, "memctrl+dram"),
+    ("dram/", None, "memctrl+dram"),
+    ("sched/", None, "memctrl+dram"),
+    ("core/", None, "shaper"),
+    ("sim/stats", None, "stats"),
+    ("sim/system", None, "system"),
+    ("sim/request", None, "core"),
+)
+
+
+def _classify(filename: str, funcname: str) -> str:
+    path = filename.replace("\\", "/")
+    for fragment, prefix, subsystem in _BREAKDOWN_RULES:
+        if fragment in path and (prefix is None
+                                 or funcname.startswith(prefix)):
+            return subsystem
+    return "other"
+
+
+def breakdown_workload(workload: BenchWorkload, cycles: int) -> Dict:
+    """Attribute one profiled run's self-time to simulator subsystems.
+
+    Runs the workload once under :mod:`cProfile` and buckets every
+    function's *inline* time (excluding callees, so buckets sum to the
+    profiled total) into core / llc / memctrl+dram / engine / shaper /
+    stats / system / other.  Profiled time overstates call-heavy code, so
+    the value is the *ranking* between subsystems, not absolute seconds;
+    the timing numbers stay profiler-free.
+    """
+    system = workload.build()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(cycles)
+    profiler.disable()
+    totals: Dict[str, float] = {}
+    total = 0.0
+    for entry in profiler.getstats():
+        code = entry.code
+        if isinstance(code, str):
+            filename, funcname = "~", code
+        else:
+            filename, funcname = code.co_filename, code.co_name
+        subsystem = _classify(filename, funcname)
+        totals[subsystem] = totals.get(subsystem, 0.0) + entry.inlinetime
+        total += entry.inlinetime
+    subsystems = {
+        name: {
+            "seconds": round(seconds, 6),
+            "fraction": round(seconds / total, 4) if total > 0 else None,
+        }
+        for name, seconds in sorted(totals.items(),
+                                    key=lambda item: -item[1])
+    }
+    return {
+        "cycles": cycles,
+        "profiled_seconds": round(total, 6),
+        "subsystems": subsystems,
+    }
+
+
+def verify_kernels(quick: bool = False,
+                   workload_names: Optional[List[str]] = None) -> Dict:
+    """Run every selected workload under both event kernels and compare.
+
+    Each workload is built twice -- ``kernel="heap"`` (the contracts-ready
+    oracle engine) and ``kernel="batched"`` (wheel + fused fast paths) --
+    run for the mode's cycle count, and the full statistics fingerprints
+    (:meth:`~repro.sim.stats.SystemStats.fingerprint`) must be
+    bit-identical.  This is the golden-fingerprint equivalence check at
+    benchmark scale; CI runs it inside the perf-smoke job so a kernel
+    divergence fails the build before any throughput number is trusted.
+    """
+    cycles = QUICK_CYCLES if quick else FULL_CYCLES
+    workloads = {}
+    for workload in _select(workload_names):
+        fingerprints = {}
+        for kernel in ("heap", "batched"):
+            system = workload.build(kernel)
+            system.run(cycles)
+            fingerprints[kernel] = system.stats.fingerprint()
+        workloads[workload.name] = {
+            "cycles": cycles,
+            "fingerprints": fingerprints,
+            "ok": fingerprints["heap"] == fingerprints["batched"],
+        }
+    return {
+        "workloads": workloads,
+        "ok": all(entry["ok"] for entry in workloads.values()),
     }
 
 

@@ -4,21 +4,26 @@ Examples::
 
     python -m repro.bench                  # full run, writes BENCH_sim.json
     python -m repro.bench --quick          # CI smoke variant
+    python -m repro.bench --repeat 8       # best-of-8 on a noisy machine
     python -m repro.bench --profile        # cProfile top functions
+    python -m repro.bench --breakdown      # per-subsystem time attribution
+    python -m repro.bench --verify-kernels # heap vs batched fingerprints
     python -m repro.bench --baseline benchmarks/perf/baseline.json \
-        --max-regression 0.30              # exit 1 on a >30% eps drop
+        --max-regression 0.15              # exit 1 on a >15% eps drop
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from typing import List, Optional
 
-from . import (FULL_CYCLES, QUICK_CYCLES, WORKLOADS, compare_to_baseline,
-               dump_json, load_json, run_benchmarks, with_history)
+from . import (FULL_CYCLES, QUICK_CYCLES, WORKLOADS, breakdown_workload,
+               compare_to_baseline, dump_json, load_json, run_benchmarks,
+               verify_kernels, with_history)
 
 
 def _profile(workload_names: Optional[List[str]], quick: bool,
@@ -55,20 +60,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "committed history under LABEL")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compare events/sec against")
-    parser.add_argument("--max-regression", type=float, default=0.30,
+    parser.add_argument("--max-regression", type=float, default=0.15,
                         help="max fractional events/sec drop vs the "
-                             "baseline before failing (default 0.30)")
+                             "baseline before failing (default 0.15)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="override the repeats per workload "
+                             "(best-of-N; default 4 full / 2 quick)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each workload instead of timing")
     parser.add_argument("--profile-top", type=int, default=20,
                         help="functions shown with --profile")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="attribute profiled self-time to subsystems "
+                             "instead of timing")
+    parser.add_argument("--verify-kernels", action="store_true",
+                        help="run each workload under both event kernels "
+                             "and require identical stats fingerprints")
     args = parser.parse_args(argv)
 
     if args.profile:
         _profile(args.workloads, args.quick, args.profile_top)
         return 0
 
-    results = run_benchmarks(quick=args.quick, workload_names=args.workloads)
+    if args.breakdown:
+        cycles = QUICK_CYCLES if args.quick else FULL_CYCLES
+        for workload in WORKLOADS:
+            if args.workloads is not None \
+                    and workload.name not in args.workloads:
+                continue
+            report = breakdown_workload(workload, cycles)
+            print(f"== {workload.name} ({cycles} cycles, "
+                  f"{report['profiled_seconds']:.3f} s profiled) ==")
+            for name, entry in report["subsystems"].items():
+                print(f"{name:>14}: {entry['seconds']:8.4f} s "
+                      f"({entry['fraction']:6.1%})")
+        return 0
+
+    if args.verify_kernels:
+        report = verify_kernels(quick=args.quick,
+                                workload_names=args.workloads)
+        for name, entry in report["workloads"].items():
+            verdict = "ok" if entry["ok"] else "MISMATCH"
+            print(f"{name:>8}: heap vs batched fingerprints "
+                  f"[{verdict}] ({entry['cycles']} cycles)")
+            if not entry["ok"]:
+                print(json.dumps(entry["fingerprints"], indent=2,
+                                 sort_keys=True))
+        if not report["ok"]:
+            print("FAIL: kernel fingerprints diverged")
+            return 1
+        return 0
+
+    results = run_benchmarks(quick=args.quick, workload_names=args.workloads,
+                             repeats=args.repeat)
     for name, result in results["workloads"].items():
         eps = result["events_per_second"]
         print(f"{name:>8}: {result['wall_seconds']:.4f} s "

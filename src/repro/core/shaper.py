@@ -118,6 +118,11 @@ class MittsShaper(SourceLimiter):
             return None
         # Catch the live state up to real time first (always safe).
         self.replenisher.apply_until(self.state, now)
+        if self.state.find_deductible(self.bin_at(now)) is not None:
+            # Fast exit: a credit is available right now.  The probe loop's
+            # first iteration (clone, no-op apply, same find_deductible)
+            # would return ``now``; skip the two state copies per call.
+            return now
 
         probe_state = CreditState(self.config)
         probe_state.counts = list(self.state.counts)

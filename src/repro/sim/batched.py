@@ -1,0 +1,622 @@
+"""Fused fast-path components of the batched simulation kernel.
+
+The heap engine's component graph (``CoreModel -> ShaperPort -> SharedLLC
+-> MemoryController -> DramDevice``) is semantically clean but pays a deep
+Python call chain per simulated access.  The subclasses here collapse those
+chains when -- and only when -- the collapse is provably bit-identical:
+
+* :class:`BatchedCoreModel` replays its trace from struct-of-arrays
+  columns (:mod:`repro.sim.soa`) instead of the iterator protocol and
+  inlines the L1 lookup (the ``OrderedDict`` set operations of
+  :class:`~repro.sim.cache.Cache.access`) plus the pass-through
+  :class:`~repro.sim.core_model.ShaperPort` drain into its run loop.  Per-
+  access statistics accumulate in locals and flush once per activation.
+* :class:`BatchedLLC` inlines the cache access and the bank-serialisation
+  arithmetic of :meth:`~repro.sim.llc.SharedLLC.lookup` and schedules the
+  system's fused hit/miss determinations directly (no ``_hit``/``_miss``
+  trampoline events).
+* :class:`BatchedMemoryController` pops the queue head directly when the
+  scheduler declares ``selects_head`` (FCFS order), and services DRAM from
+  a precomputed line -> ``(flat_bank, row, channel)`` table with the bank
+  state machine and channel-bus arithmetic inlined -- no per-dispatch
+  address mapping, no per-access ``contracts.is_enabled()`` probe.
+
+Every inlined body is a transcription of the corresponding checked
+component with the same statement order for every observable effect
+(statistics, request-id allocation, event scheduling); the golden
+fingerprint suite pins the equivalence.  Each subclass also keeps a
+gate flag and falls back to the parent implementation whenever its
+preconditions (power-of-two geometry, materialisable trace, head-selecting
+scheduler) do not hold, so these classes are accelerators, never a
+restriction on configuration space.
+
+These classes are only instantiated on the fused path (``kernel:
+"batched"`` with contracts disabled); with ``REPRO_CONTRACTS=1`` the
+system assembles the fully instrumented originals so every invariant
+check still runs.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush as _heappush
+from typing import Callable, Dict, Optional, Tuple
+
+from ..dram.device import DramDevice
+from .core_model import CoreModel
+from .engine import _NO_ARG
+from .llc import SharedLLC
+from .memctrl import MemoryController, MemorySchedulerProtocol
+from .request import MemoryRequest
+from .soa import trace_columns
+from .stats import SystemStats
+from .wheel import _MASK, SPAN, WheelEngine
+
+
+#: slots rebuilt from the trace on unpickle instead of being serialised --
+#: checkpoint files should not carry megabytes of derivable trace columns
+#: (or bound references into the component graph)
+_REBUILT_SLOTS = frozenset({"_works", "_addrs", "_iswrites", "_lines",
+                            "_rows", "_n", "_fast", "_next_rid",
+                            "_fused_llc", "_llc_pack"})
+
+
+class BatchedCoreModel(CoreModel):
+    """Trace-replaying core over SoA columns with an inlined L1 path.
+
+    Behaviour is bit-identical to :class:`~repro.sim.core_model.CoreModel`:
+    the same accesses at the same cycles, the same request-id allocation
+    order, the same statistics.  When the trace cannot be materialised as
+    columns (or the L1 geometry is not power-of-two) the instance simply
+    runs the parent implementation.
+    """
+
+    __slots__ = ("_pos", "_works", "_addrs", "_iswrites", "_lines", "_rows",
+                 "_n", "_fast", "_next_rid", "_fused_llc", "_llc_pack")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._pos = 0
+        self._bind_columns()
+
+    def _bind_columns(self) -> None:
+        """(Re)derive the SoA columns; clears the fast flag on failure."""
+        # Request ids come from ``next()`` on the allocator's raw counter
+        # (one C call) instead of the allocator's ``__call__`` frame.
+        allocator = self._new_req_id
+        counter = getattr(allocator, "_count", None)
+        self._next_rid = counter.__next__ if counter is not None \
+            else allocator
+        self._fused_llc = None
+        self._llc_pack = None
+        columns = None
+        l1 = self.l1
+        # The fast loop schedules by direct bucket append, so it requires
+        # the wheel engine (the only engine fused systems assemble).
+        if (self._line_shift is not None and l1._set_mask is not None
+                and l1._line_shift == self._line_shift
+                and type(self.engine) is WheelEngine):
+            columns = trace_columns(self.trace, self.line_bytes)
+        if columns is None:
+            self._works = None
+            self._addrs = None
+            self._iswrites = None
+            self._lines = None
+            self._rows = None
+            self._n = 0
+            self._fast = False
+        else:
+            self._works = columns.works
+            self._addrs = columns.addrs
+            self._iswrites = columns.iswrites
+            self._lines = columns.lines
+            self._rows = columns.rows
+            self._n = columns.length
+            self._fast = True
+            # When the port sends straight into a fast BatchedLLC that
+            # shares this core's id allocator and statistics objects, the
+            # run loop may inline the lookup body (the demand-miss path's
+            # hottest callee).  Anything else -- a NoC sender, a hand-built
+            # rig with its own stats -- keeps the indirect call.
+            send = self.port.send
+            llc = getattr(send, "__self__", None)
+            cores = getattr(llc, "_stat_cores", None)
+            if (type(llc) is BatchedLLC and llc._fast
+                    and getattr(send, "__func__", None) is BatchedLLC.lookup
+                    and llc._new_req_id is allocator
+                    and cores is not None and self.core_id < len(cores)
+                    and cores[self.core_id] is self.stats):
+                self._fused_llc = llc
+                self._llc_pack = (llc._line_shift, llc._bank_mask,
+                                  llc.bank_busy, llc.hit_latency)
+
+    # -- checkpointing: columns are derivable, so do not serialise them --
+
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if name not in _REBUILT_SLOTS and hasattr(self, name):
+                    state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._bind_columns()
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        """Column-driven transcription of :meth:`CoreModel._run`.
+
+        Shaped for the dominant activation: one access, one column fetch,
+        one self-reschedule.  Attributes are read on demand instead of
+        bulk-bound up front (an activation touches each at most once), and
+        the self-reschedule appends straight into the wheel bucket --
+        identical ``(when, seq)`` allocation to ``engine.schedule`` minus
+        the call.  The access body inlines :meth:`Cache.access` (same
+        ``OrderedDict`` operations in the same order) and the unshaped
+        :meth:`ShaperPort._pump` drain (``shaper_stall_cycles`` gains
+        ``now - now == 0`` on that path, so the add is skipped).
+        """
+        if self._blocked or self._running:
+            return
+        if not self._fast:
+            CoreModel._run(self)
+            return
+        self._running = True
+        engine = self.engine
+        now = engine.now
+        pending = self._pending_work
+        budget = 4
+        try:
+            while True:
+                if pending is None:
+                    pos = self._pos
+                    if pos == self._n:
+                        self.wraps += 1
+                        pos = 0
+                    work, address, is_write, line = self._rows[pos]
+                    self._pos = pos + 1
+                    multiplier = self.throttle_multiplier
+                    if multiplier != 1.0:
+                        work = int(work * multiplier)
+                    if work > 0:
+                        when = now + work
+                    elif budget <= 0:
+                        when = now + 1
+                    else:
+                        when = -1
+                    if when >= 0:
+                        self._pending_work = [0, work, address, is_write]
+                        # inline engine.schedule(when, self._run_cb)
+                        seq = engine._seq
+                        engine._seq = seq + 1
+                        if when - now < SPAN:
+                            index = when & _MASK
+                            engine._buckets[index].append(
+                                (when, seq, self._run_cb, _NO_ARG))
+                            engine._occupied[index] = 1
+                        else:
+                            _heappush(engine._overflow,
+                                      (when, seq, self._run_cb, _NO_ARG))
+                        engine._count += 1
+                        return
+                else:
+                    remaining = pending[0]
+                    work = pending[1]
+                    address = pending[2]
+                    is_write = pending[3]
+                    if remaining > 0:
+                        pending[0] = 0
+                        engine.schedule(now + remaining, self._run_cb)
+                        return
+                    if budget <= 0:
+                        engine.schedule(now + 1, self._run_cb)
+                        return
+                    line = address >> self._line_shift
+                outstanding = self.outstanding
+                stats = self.stats
+                if line in outstanding:
+                    # Coalesced secondary miss: line already in flight.
+                    pass
+                else:
+                    l1 = self.l1
+                    ways = l1._sets[line & l1._set_mask]
+                    if line in ways:
+                        ways.move_to_end(line)
+                        if is_write and not ways[line]:
+                            ways[line] = True
+                        l1.hits += 1
+                        stats.l1_hits += 1
+                    elif len(outstanding) >= self.mlp:
+                        # MSHRs full: block until a response frees one.
+                        self._blocked = True
+                        self._block_start = now
+                        if pending is None:
+                            self._pending_work = [0, work, address, is_write]
+                        return
+                    else:
+                        l1.misses += 1
+                        stats.l1_misses += 1
+                        victim = None
+                        if len(ways) >= l1._ways:
+                            vline, vdirty = ways.popitem(last=False)
+                            if vdirty:
+                                victim = vline << self._line_shift
+                                l1.writebacks += 1
+                        ways[line] = is_write
+                        outstanding[line] = True
+                        port = self.port
+                        core_id = self.core_id
+                        # positional MemoryRequest: (core_id, address,
+                        # is_write, l1_miss, issue, mc_arrival, dram_start,
+                        # complete, shaper_bin, req_id)
+                        request = MemoryRequest(core_id, address, is_write,
+                                                now, 0, 0, 0, 0, -1,
+                                                self._next_rid())
+                        if port._unshaped and not port.queue \
+                                and not port._parked:
+                            request.issue_cycle = now
+                            last = stats.last_issue_cycle
+                            if last >= 0:
+                                hist = stats.interarrival._counts
+                                gap_bin = (now - last) \
+                                    // port.interarrival_bucket
+                                if gap_bin < len(hist):
+                                    hist[gap_bin] += 1
+                                else:
+                                    stats.interarrival.add(gap_bin)
+                            stats.last_issue_cycle = now
+                            llc = self._fused_llc
+                            if llc is None:
+                                port.send(request)
+                            else:
+                                # inline llc.lookup(request): same cache
+                                # ops, counters and schedule in the same
+                                # order (BatchedLLC.lookup transcription;
+                                # ``request.shaper_bin`` is -1 here so the
+                                # demand gates are pre-decided).
+                                lshift, lbank_mask, lbusy, lhit_lat = \
+                                    self._llc_pack
+                                lline = address >> lshift
+                                lbank_free = llc._bank_free
+                                lbank = lline & lbank_mask
+                                free_at = lbank_free[lbank]
+                                lstart = now if now > free_at else free_at
+                                lbank_free[lbank] = lstart + lbusy
+                                lcache = llc.cache
+                                lways = lcache._sets[
+                                    lline & lcache._set_mask]
+                                respond_at = lstart + lhit_lat
+                                lvictim = None
+                                if lline in lways:
+                                    lways.move_to_end(lline)
+                                    if is_write and not lways[lline]:
+                                        lways[lline] = True
+                                    lcache.hits += 1
+                                    llc.hits += 1
+                                    stats.llc_hits += 1
+                                    callback = llc._respond_hit
+                                else:
+                                    lcache.misses += 1
+                                    if len(lways) >= lcache._ways:
+                                        lvline, lvdirty = lways.popitem(
+                                            last=False)
+                                        if lvdirty:
+                                            lvictim = lvline << lshift
+                                            lcache.writebacks += 1
+                                    lways[lline] = is_write
+                                    llc.misses += 1
+                                    stats.llc_misses += 1
+                                    callback = llc._respond_miss
+                                # inline engine.schedule(respond_at,
+                                #                        callback, request)
+                                seq = engine._seq
+                                engine._seq = seq + 1
+                                if respond_at - now < SPAN:
+                                    index = respond_at & _MASK
+                                    engine._buckets[index].append(
+                                        (respond_at, seq, callback,
+                                         request))
+                                    engine._occupied[index] = 1
+                                else:
+                                    _heappush(engine._overflow,
+                                              (respond_at, seq, callback,
+                                               request))
+                                engine._count += 1
+                                if lvictim is not None:
+                                    lwb = MemoryRequest(
+                                        core_id, lvictim, True, now, now,
+                                        0, 0, 0, -2, self._next_rid())
+                                    engine.schedule(respond_at,
+                                                    llc.forward_miss, lwb)
+                        else:
+                            port.submit(request)
+                        if victim is not None:
+                            writeback = MemoryRequest(core_id, victim, True,
+                                                      now, now, 0, 0, 0, -2,
+                                                      self._next_rid())
+                            port.send(writeback)
+                stats.accesses += 1
+                stats.retired += 1
+                stats.work_cycles += 1 + work
+                if pending is not None:
+                    self._pending_work = None
+                    pending = None
+                budget -= 1
+        finally:
+            self._running = False
+
+
+class BatchedLLC(SharedLLC):
+    """Shared LLC with the cache access and bank arithmetic inlined.
+
+    ``respond_hit`` / ``respond_miss`` are the system's fused determination
+    callbacks, scheduled directly where the parent schedules its
+    ``_hit``/``_miss`` trampolines -- one fewer Python call per LLC event,
+    identical event order and payloads.
+    """
+
+    __slots__ = ("_respond_hit", "_respond_miss", "_fast")
+
+    def __init__(self, *args,
+                 respond_hit: Optional[Callable] = None,
+                 respond_miss: Optional[Callable] = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._respond_hit = respond_hit if respond_hit is not None \
+            else self._hit
+        self._respond_miss = respond_miss if respond_miss is not None \
+            else self._miss
+        cache = self.cache
+        self._fast = (self._line_shift is not None
+                      and self._bank_mask is not None
+                      and cache._set_mask is not None
+                      and cache._line_shift == self._line_shift
+                      and type(self.engine) is WheelEngine)
+
+    def lookup(self, request: MemoryRequest) -> None:
+        if not self._fast:
+            SharedLLC.lookup(self, request)
+            return
+        engine = self.engine
+        now = engine.now
+        line = request.address >> self._line_shift
+        bank = line & self._bank_mask
+        bank_free = self._bank_free
+        free_at = bank_free[bank]
+        start = now if now > free_at else free_at
+        bank_free[bank] = start + self.bank_busy
+        cache = self.cache
+        ways = cache._sets[line & cache._set_mask]
+        respond_at = start + self.hit_latency
+        cores = self._stat_cores
+        demand = request.shaper_bin != -2
+        if line in ways:
+            ways.move_to_end(line)
+            if request.is_write and not ways[line]:
+                ways[line] = True
+            cache.hits += 1
+            self.hits += 1
+            if cores is not None and demand:
+                cores[request.core_id].llc_hits += 1
+            callback = self._respond_hit
+        else:
+            cache.misses += 1
+            victim = None
+            if len(ways) >= cache._ways:
+                vline, vdirty = ways.popitem(last=False)
+                if vdirty:
+                    victim = vline << self._line_shift
+                    cache.writebacks += 1
+            ways[line] = request.is_write
+            self.misses += 1
+            if cores is not None and demand:
+                cores[request.core_id].llc_misses += 1
+            callback = self._respond_miss
+        # inline engine.schedule(respond_at, callback, request)
+        seq = engine._seq
+        engine._seq = seq + 1
+        if respond_at - now < SPAN:
+            index = respond_at & _MASK
+            engine._buckets[index].append((respond_at, seq, callback,
+                                           request))
+            engine._occupied[index] = 1
+        else:
+            _heappush(engine._overflow, (respond_at, seq, callback, request))
+        engine._count += 1
+        if callback is self._respond_miss and victim is not None:
+            # Same creation order as the parent: the LLC-victim writeback's
+            # req_id is allocated after the miss determination is scheduled.
+            writeback = MemoryRequest(request.core_id, victim, True, now,
+                                      now, 0, 0, 0, -2, self._new_req_id())
+            engine.schedule(respond_at, self.forward_miss, writeback)
+
+
+class BatchedMemoryController(MemoryController):
+    """Memory controller with head-select dispatch over precomputed
+    DRAM coordinates.
+
+    The fast dispatch requires (a) a scheduler that always selects the
+    queue head (``selects_head``, i.e. strict FCFS order) and (b) the
+    coordinate table covering the request's address; otherwise it falls
+    back to the generic select/map/service path per request.  The inlined
+    bank state machine is :meth:`repro.dram.bank.Bank.access` with the
+    timing sums precomputed, followed by the channel-bus serialisation of
+    :meth:`repro.dram.device.DramDevice.service`.
+    """
+
+    __slots__ = ("_coords", "_dshift", "_fast_select", "_skip_on_complete",
+                 "_timing_pack", "_respond_cores", "_respond_fast")
+
+    def __init__(self, engine, dram: DramDevice,
+                 scheduler: MemorySchedulerProtocol,
+                 complete: Callable[[MemoryRequest], None],
+                 queue_depth: int = 32,
+                 stats: Optional[SystemStats] = None,
+                 coord_table: Optional[
+                     Dict[int, Tuple[int, int, int]]] = None) -> None:
+        super().__init__(engine, dram, scheduler, complete,
+                         queue_depth=queue_depth, stats=stats)
+        self._coords = coord_table
+        timing = dram.timing
+        line_bytes = timing.line_bytes
+        self._dshift = line_bytes.bit_length() - 1 \
+            if line_bytes & (line_bytes - 1) == 0 else None
+        self._fast_select = bool(getattr(scheduler, "selects_head", False)) \
+            and coord_table is not None and self._dshift is not None \
+            and type(engine) is WheelEngine
+        self._skip_on_complete = (type(scheduler).on_complete
+                                  is MemorySchedulerProtocol.on_complete)
+        #: one tuple read + unpack per dispatch instead of nine attr reads
+        self._timing_pack = (
+            timing.t_bl, timing.t_rc, timing.t_rp, timing.t_wr,
+            timing.t_rcd + timing.t_bl,
+            timing.t_rp + timing.t_rcd + timing.t_bl,
+            timing.row_hit_latency, timing.row_closed_latency,
+            timing.row_conflict_latency)
+        #: core models indexed by core_id (installed by the system after
+        #: construction); lets ``_complete`` respond to the core directly
+        #: instead of going through the generic ``complete`` callback
+        self._respond_cores = None
+        self._respond_fast = False
+
+    def attach_cores(self, cores) -> None:
+        """Install the per-core response targets (fused completion path).
+
+        Only valid when the system's ``complete`` callback is equivalent
+        to "ignore writebacks, else ``cores[core_id].on_response``" --
+        exactly what :meth:`SimSystem._on_dram_complete` does.  When every
+        target is a :class:`BatchedCoreModel` with a power-of-two line
+        size, ``_complete`` additionally inlines the ``on_response`` body
+        (the completion event is the hottest callback in the system).
+        """
+        self._respond_cores = cores
+        self._respond_fast = all(
+            type(core) is BatchedCoreModel and core._line_shift is not None
+            for core in cores)
+
+    def _dispatch(self) -> None:
+        if not self._fast_select:
+            MemoryController._dispatch(self)
+            return
+        queue = self.queue
+        inflight = self._inflight
+        if not queue or inflight >= self._max_inflight:
+            return
+        max_inflight = self._max_inflight
+        engine = self.engine
+        now = engine.now
+        overflow = self.overflow
+        depth = self.queue_depth
+        dram = self.dram
+        banks = dram.banks
+        bus_free = dram.bus_free
+        complete_cb = self._complete_cb
+        coords_get = self._coords.get
+        dshift = self._dshift
+        (t_bl, t_rc, t_rp, t_wr, t_rcd_bl, t_rp_rcd_bl,
+         hit_lat, closed_lat, conflict_lat) = self._timing_pack
+        dispatched = 0
+        while queue and inflight < max_inflight:
+            request = queue.pop(0)
+            if overflow:
+                while overflow and len(queue) < depth:
+                    queue.append(overflow.popleft())
+            request.dram_start_cycle = now
+            next_refresh = dram._next_refresh
+            if next_refresh is not None and now >= next_refresh:
+                dram._maybe_refresh(now)
+            entry = coords_get(request.address >> dshift)
+            if entry is None:
+                done = dram.service(request.address, now, request.is_write)
+            else:
+                flat, row, channel = entry
+                bank = banks[flat]
+                start = bank.ready_cycle
+                if now > start:
+                    start = now
+                open_row = bank.open_row
+                if open_row == row:
+                    done = start + hit_lat
+                    next_ready = start + t_bl
+                    bank.row_hits += 1
+                else:
+                    gate = bank.last_activate + t_rc
+                    if gate > start:
+                        start = gate
+                    if open_row is None:
+                        done = start + closed_lat
+                        next_ready = start + t_rcd_bl
+                        bank.last_activate = start
+                    else:
+                        done = start + conflict_lat
+                        next_ready = start + t_rp_rcd_bl
+                        bank.last_activate = start + t_rp
+                    bank.row_misses += 1
+                    bank.open_row = row
+                if request.is_write:
+                    next_ready += t_wr
+                bank.ready_cycle = next_ready
+                bus_start = done - t_bl
+                free_at = bus_free[channel]
+                if free_at > bus_start:
+                    bus_start = free_at
+                done = bus_start + t_bl
+                bus_free[channel] = done
+            inflight += 1
+            dispatched += 1
+            # inline engine.schedule(done, complete_cb, request)
+            seq = engine._seq
+            engine._seq = seq + 1
+            if done - now < SPAN:
+                index = done & _MASK
+                engine._buckets[index].append((done, seq, complete_cb,
+                                               request))
+                engine._occupied[index] = 1
+            else:
+                _heappush(engine._overflow, (done, seq, complete_cb,
+                                             request))
+            engine._count += 1
+        self._inflight = inflight
+        self.dispatched += dispatched
+
+    def _complete(self, request: MemoryRequest) -> None:
+        self._inflight -= 1
+        core_id = request.core_id
+        cores = self._cores
+        demand = request.shaper_bin != -2
+        if cores is not None:
+            cstats = cores[core_id]
+            if demand:
+                cstats.dram_requests += 1
+            else:
+                cstats.writebacks += 1
+        if not self._skip_on_complete:
+            self.scheduler.on_complete(request, self.engine.now)
+        respond = self._respond_cores
+        if respond is None:
+            self.complete(request)
+        elif demand:
+            core = respond[core_id]
+            if self._respond_fast:
+                # inline core.on_response(request): same stores and stat
+                # adds as CoreModel.on_response, minus the call frame
+                now = self.engine.now
+                core.outstanding.pop(
+                    request.address >> core._line_shift, None)
+                request.complete_cycle = now
+                cstats = core.stats
+                cstats.total_latency += now - request.l1_miss_cycle
+                cstats.post_shaper_latency += now - request.issue_cycle
+                if core._blocked:
+                    core._blocked = False
+                    cstats.memory_stall_cycles += now - core._block_start
+                    core._run()
+            else:
+                core.on_response(request)
+        if self.overflow:
+            self._refill_window()
+        if self.queue:
+            self._dispatch()

@@ -136,6 +136,13 @@ class MemorySchedulerProtocol:
 
     __slots__ = ()
 
+    #: Declares that ``select`` always returns ``queue[0]`` (strict FCFS
+    #: over the controller's arrival-ordered queue).  The batched kernel's
+    #: memory controller replaces select-then-``queue.remove`` with a
+    #: single ``pop(0)`` when this holds; schedulers that reorder must
+    #: leave it False.
+    selects_head = False
+
     def select(self, queue: List[MemoryRequest], now: int,
                controller: MemoryController) -> Optional[MemoryRequest]:
         raise NotImplementedError

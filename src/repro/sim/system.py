@@ -23,13 +23,17 @@ from ..analysis import contracts
 from ..core.limiter import NoLimiter, SourceLimiter
 from ..dram.device import DramDevice
 from ..dram.timing import DDR3_1333, DramTiming
+from .batched import (BatchedCoreModel, BatchedLLC,
+                      BatchedMemoryController)
 from .cache import Cache, CacheGeometry
 from .core_model import CoreModel, ShaperPort
 from .engine import Engine
 from .llc import SharedLLC
 from .memctrl import MemoryController, MemorySchedulerProtocol
 from .request import MemoryRequest, RequestIdAllocator
+from .soa import dram_coord_table
 from .stats import CoreStats, SystemStats
+from .wheel import WheelEngine
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +71,17 @@ class SystemConfig:
     issue_width: int = 4
     #: MSHRs per core for the "window" core model (Table II)
     mshrs: int = 8
+    #: event kernel: "batched" (calendar-queue wheel + fused fast-path
+    #: components when contracts are off) or "heap" (the binary-heap
+    #: oracle engine with the original checked components).  Both produce
+    #: bit-identical results (pinned by the golden-fingerprint suite).
+    kernel: str = "batched"
+    #: macro-tick shaper replenishment: "auto" attaches the vectorized
+    #: per-window pump when every shaper is eligible (see
+    #: :mod:`repro.core.macrotick`), "force" raises if not eligible,
+    #: "off" keeps lazy per-shaper replenishment.  Only active on the
+    #: fused batched path; bit-neutral either way.
+    macro_tick: str = "auto"
 
 
 #: Table II single-program configuration (64KB private L2).
@@ -152,6 +167,8 @@ class _FcfsFallback(MemorySchedulerProtocol):
 
     __slots__ = ()
 
+    selects_head = True
+
     def select(self, queue, now, controller):
         if not queue:
             return None
@@ -163,7 +180,7 @@ class SimSystem:
 
     __slots__ = ("config", "engine", "request_ids", "scheduler", "stats",
                  "dram", "mc", "llc", "noc", "ports", "cores", "watchdog",
-                 "_started")
+                 "_pump", "_direct_respond", "_started")
 
     def __init__(self, traces: Sequence,
                  config: Optional[SystemConfig] = None,
@@ -173,7 +190,19 @@ class SimSystem:
         if not traces:
             raise ValueError("at least one trace is required")
         self.config = config or MULTI_PROGRAM_CONFIG
-        self.engine = Engine()
+        kernel = self.config.kernel
+        if kernel == "batched":
+            self.engine = WheelEngine()
+        elif kernel == "heap":
+            self.engine = Engine()
+        else:
+            raise ValueError(f"unknown kernel {kernel!r}; "
+                             f"known: ('heap', 'batched')")
+        # The fused fast-path components are bit-identical transcriptions
+        # of the checked ones but carry no invariant instrumentation, so
+        # they assemble only when contracts are off; REPRO_CONTRACTS=1
+        # pairs the wheel engine with the original (checked) components.
+        fused = kernel == "batched" and not contracts.is_enabled()
         #: per-system request-id source: ids always start at 0 for a new
         #: system, so back-to-back systems in one process are bit-identical
         self.request_ids = RequestIdAllocator()
@@ -188,22 +217,50 @@ class SimSystem:
             cores=[CoreStats(core_id=i) for i in range(num_cores)])
         self.dram = DramDevice(self.config.timing,
                                mapping_scheme=self.config.dram_mapping)
-        self.mc = MemoryController(
-            self.engine, self.dram, self.scheduler,
-            complete=self._on_dram_complete,
-            queue_depth=self.config.mc_queue_depth, stats=self.stats)
+        if fused:
+            coord_table = {}
+            for trace in traces:
+                sub = dram_coord_table(trace, self.config.timing,
+                                       self.config.dram_mapping)
+                if sub is None:
+                    coord_table = None
+                    break
+                coord_table.update(sub)
+            self.mc = BatchedMemoryController(
+                self.engine, self.dram, self.scheduler,
+                complete=self._on_dram_complete,
+                queue_depth=self.config.mc_queue_depth, stats=self.stats,
+                coord_table=coord_table)
+        else:
+            self.mc = MemoryController(
+                self.engine, self.dram, self.scheduler,
+                complete=self._on_dram_complete,
+                queue_depth=self.config.mc_queue_depth, stats=self.stats)
         llc_cache = Cache(CacheGeometry(self.config.llc_size,
                                         self.config.llc_ways,
                                         self.config.line_bytes))
-        self.llc = SharedLLC(self.engine, llc_cache,
-                             forward_miss=contracts.hot_bind(
-                                 self.mc.enqueue),
-                             respond=self._on_llc_determination,
-                             hit_latency=self.config.llc_hit_latency,
-                             banks=self.config.llc_banks,
-                             bank_busy=self.config.llc_bank_busy,
-                             stats=self.stats,
-                             req_ids=self.request_ids)
+        if fused:
+            self.llc = BatchedLLC(self.engine, llc_cache,
+                                  forward_miss=contracts.hot_bind(
+                                      self.mc.enqueue),
+                                  respond=self._on_llc_determination,
+                                  hit_latency=self.config.llc_hit_latency,
+                                  banks=self.config.llc_banks,
+                                  bank_busy=self.config.llc_bank_busy,
+                                  stats=self.stats,
+                                  req_ids=self.request_ids,
+                                  respond_hit=self._fast_hit,
+                                  respond_miss=self._fast_miss)
+        else:
+            self.llc = SharedLLC(self.engine, llc_cache,
+                                 forward_miss=contracts.hot_bind(
+                                     self.mc.enqueue),
+                                 respond=self._on_llc_determination,
+                                 hit_latency=self.config.llc_hit_latency,
+                                 banks=self.config.llc_banks,
+                                 bank_busy=self.config.llc_bank_busy,
+                                 stats=self.stats,
+                                 req_ids=self.request_ids)
 
         self.noc = None
         if self.config.noc_enabled:
@@ -237,17 +294,48 @@ class SimSystem:
                     req_ids=self.request_ids)
             elif self.config.core_model == "simple":
                 mlp = self._mlp_for(trace, core_id, mlps)
-                core = CoreModel(core_id, self.engine, trace, l1,
-                                 port, self.stats.cores[core_id], mlp=mlp,
-                                 line_bytes=self.config.line_bytes,
-                                 req_ids=self.request_ids)
+                core_cls = BatchedCoreModel if fused else CoreModel
+                core = core_cls(core_id, self.engine, trace, l1,
+                                port, self.stats.cores[core_id], mlp=mlp,
+                                line_bytes=self.config.line_bytes,
+                                req_ids=self.request_ids)
             else:
                 raise ValueError(
                     f"unknown core model {self.config.core_model!r}")
             self.ports.append(port)
             self.cores.append(core)
+        if fused:
+            # Fused completion path: ``_on_dram_complete`` is exactly
+            # "ignore writebacks, else core.on_response", so the batched
+            # controller may respond to cores directly.
+            self.mc.attach_cores(self.cores)
+        #: ``_fast_hit`` may inline ``core.on_response`` (no NoC hop, all
+        #: cores batched with power-of-two lines)
+        self._direct_respond = (fused and self.noc is None and all(
+            type(core) is BatchedCoreModel and core._line_shift is not None
+            for core in self.cores))
         #: optional forward-progress monitor (see repro.resilience.watchdog)
         self.watchdog = None
+        #: macro-tick replenishment pump (fused path only; may be None)
+        self._pump = None
+        macro_tick = self.config.macro_tick
+        if macro_tick not in ("auto", "force", "off"):
+            raise ValueError(
+                f"unknown macro_tick mode {macro_tick!r}; "
+                f"known: ('auto', 'force', 'off')")
+        if macro_tick != "off" and kernel == "batched":
+            from ..core.macrotick import MacroTickPump
+            if fused:
+                self._pump = MacroTickPump.attach(self, macro_tick)
+            elif macro_tick == "force" \
+                    and MacroTickPump.eligible(self) is None:
+                # Contracts runs never attach the pump, but an ineligible
+                # "force" must fail identically in both modes -- config
+                # validity cannot depend on REPRO_CONTRACTS.
+                raise ValueError(
+                    "macro_tick='force' requires every port limiter to be "
+                    "a method-2 MittsShaper with a ResetReplenisher "
+                    "sharing one period and one aligned boundary")
         self._started = False
 
     def _mlp_for(self, trace, core_id: int,
@@ -292,6 +380,80 @@ class SimSystem:
                     self.engine.now - stats.last_mem_request_cycle,
                     self.config.interarrival_bucket)
             stats.last_mem_request_cycle = self.engine.now
+
+    def _fast_hit(self, request: MemoryRequest) -> None:
+        """Fused-path hit determination: ``_on_llc_determination`` with the
+        ``was_hit=True`` branch pre-selected (no per-event bool dispatch)
+        and -- on the direct-respond layout -- the ``core.on_response``
+        body inlined."""
+        if request.shaper_bin == -2:
+            return
+        core_id = request.core_id
+        port = self.ports[core_id]
+        if not port._unshaped:
+            port.limiter.on_llc_response(request.req_id, True)
+        core = self.cores[core_id]
+        if self._direct_respond:
+            # inline core.on_response(request) (CoreModel transcription)
+            now = self.engine.now
+            core.outstanding.pop(request.address >> core._line_shift, None)
+            request.complete_cycle = now
+            cstats = core.stats
+            cstats.total_latency += now - request.l1_miss_cycle
+            cstats.post_shaper_latency += now - request.issue_cycle
+            if core._blocked:
+                core._blocked = False
+                cstats.memory_stall_cycles += now - core._block_start
+                core._run()
+        elif self.noc is None:
+            core.on_response(request)
+        else:
+            from .noc import bank_tile
+            line = request.address // self.config.line_bytes
+            bank = line % self.config.llc_banks
+            src = bank_tile(self.noc, bank, self.config.llc_banks)
+            arrive = self.noc.traverse(
+                src, core_id % self.noc.tiles, self.engine.now)
+            self.engine.schedule(arrive, core.on_response, request)
+
+    def _fast_miss(self, request: MemoryRequest) -> None:
+        """Fused-path miss determination, fused with the miss forward.
+
+        The tail is the body of ``MemoryController.enqueue`` (what
+        ``llc.forward_miss`` is wired to on this path, contract-free since
+        fused systems only assemble with contracts off), saving two call
+        frames on every LLC-miss determination event.
+        """
+        now = self.engine.now
+        if request.shaper_bin != -2:
+            port = self.ports[request.core_id]
+            if not port._unshaped:
+                port.limiter.on_llc_response(request.req_id, False)
+            stats = self.stats.cores[request.core_id]
+            last = stats.last_mem_request_cycle
+            if last >= 0:
+                hist = stats.mem_interarrival._counts
+                gap_bin = (now - last) // self.config.interarrival_bucket
+                if gap_bin < len(hist):
+                    hist[gap_bin] += 1
+                else:
+                    stats.mem_interarrival.add(gap_bin)
+            stats.last_mem_request_cycle = now
+        # inline self.llc.forward_miss(request) == mc.enqueue(request)
+        mc = self.mc
+        request.mc_arrival_cycle = now
+        queue = mc.queue
+        sysstats = self.stats
+        if len(queue) >= mc.queue_depth:
+            mc.overflow.append(request)
+            sysstats.queue_backpressure_events += 1
+        else:
+            queue.append(request)
+        depth = len(queue) + len(mc.overflow)
+        if depth > sysstats.peak_queue_depth:
+            sysstats.peak_queue_depth = depth
+        if mc._inflight < mc._max_inflight:
+            mc._dispatch()
 
     def _on_dram_complete(self, request: MemoryRequest) -> None:
         if request.shaper_bin == -2:

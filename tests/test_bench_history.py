@@ -39,3 +39,33 @@ class TestWithHistory:
         with_history(document, previous, "pr-b")
         assert "history" not in document
         assert len(previous["history"]) == 1
+
+
+class TestRepeatsOverride:
+    def test_repeat_must_be_positive(self):
+        import pytest
+
+        from repro.bench import run_benchmarks
+        with pytest.raises(ValueError, match="repeats"):
+            run_benchmarks(quick=True, repeats=0)
+
+
+class TestBreakdownClassification:
+    """The --breakdown attribution rules, pinned without profiling."""
+
+    def test_fused_batched_methods_split_by_function(self):
+        from repro.bench import _classify
+        path = "/x/src/repro/sim/batched.py"
+        assert _classify(path, "_run") == "core"
+        assert _classify(path, "lookup") == "llc"
+        assert _classify(path, "_dispatch") == "memctrl+dram"
+        assert _classify(path, "_complete") == "memctrl+dram"
+
+    def test_module_rules(self):
+        from repro.bench import _classify
+        assert _classify("/x/src/repro/sim/wheel.py", "run") == "engine"
+        assert _classify("/x/src/repro/sim/llc.py", "lookup") == "llc"
+        assert _classify("/x/src/repro/core/shaper.py", "issue") == "shaper"
+        assert _classify("/x/src/repro/sim/stats.py", "add") == "stats"
+        assert _classify("/usr/lib/python3.11/heapq.py", "x") == "other"
+        assert _classify("~", "<built-in>") == "other"

@@ -9,15 +9,20 @@ tie-break, histogram contents, queue depths -- trips these tests.
 
 The scenarios cover the three main simulation shapes: the simple core
 model on the FCFS fallback, the instruction-window model under MITTS
-shaping with FR-FCFS, and the mesh-NoC path.  The suite runs both with
-and without ``REPRO_CONTRACTS=1`` in CI; the fingerprints must be
-identical in both modes (contracts observe, never perturb).
+shaping with FR-FCFS, and the mesh-NoC path.  Every scenario runs under
+*both* event kernels -- the checked heap engine and the batched
+calendar-queue wheel -- and the suite runs both with and without
+``REPRO_CONTRACTS=1`` in CI; the fingerprints must be identical in all
+four combinations (contracts observe, never perturb; the fast path
+reorders nothing).
 
 If a fingerprint changes *intentionally* (a modelling change, not an
 optimisation), re-record it here and say why in the commit message.
 """
 
 from dataclasses import replace
+
+import pytest
 
 from repro.core.bins import BinConfig
 from repro.core.shaper import MittsShaper
@@ -26,6 +31,8 @@ from repro.sim.system import SCALED_MULTI_CONFIG, SimSystem
 from repro.workloads.mixes import workload_traces
 
 GOLDEN_CYCLES = 120_000
+
+KERNELS = ("heap", "batched")
 
 #: recorded at commit 64122aa (pre-fast-path), Python 3.11
 GOLDEN_MIX_SIMPLE = \
@@ -36,18 +43,20 @@ GOLDEN_MIX_NOC = \
     "335a4849882ea7e49c5d0bb2984689f0bc2c8e9846c45cf3062eb0dd6718d234"
 
 
-def run_mix_simple() -> SimSystem:
+def run_mix_simple(kernel: str = "batched") -> SimSystem:
     """Workload mix 1, simple cores, FCFS fallback scheduler."""
     traces = workload_traces(1, seed=11)
-    system = SimSystem(traces, config=SCALED_MULTI_CONFIG)
+    config = replace(SCALED_MULTI_CONFIG, kernel=kernel)
+    system = SimSystem(traces, config=config)
     system.run(GOLDEN_CYCLES)
     return system
 
 
-def run_mix_window_shaped() -> SimSystem:
+def run_mix_window_shaped(kernel: str = "batched") -> SimSystem:
     """Workload mix 2, window cores, MITTS shapers, FR-FCFS."""
     traces = workload_traces(2, seed=22)
-    config = replace(SCALED_MULTI_CONFIG, core_model="window")
+    config = replace(SCALED_MULTI_CONFIG, core_model="window",
+                     kernel=kernel)
     credits = [4, 4, 3, 3, 2, 2, 1, 1, 1, 1]
     limiters = [MittsShaper(BinConfig.from_credits(credits), phase=17 * i)
                 for i in range(len(traces))]
@@ -57,26 +66,28 @@ def run_mix_window_shaped() -> SimSystem:
     return system
 
 
-def run_mix_noc() -> SimSystem:
+def run_mix_noc(kernel: str = "batched") -> SimSystem:
     """Workload mix 3 across the mesh NoC, FCFS."""
     traces = workload_traces(3, seed=33)
-    config = replace(SCALED_MULTI_CONFIG, noc_enabled=True)
+    config = replace(SCALED_MULTI_CONFIG, noc_enabled=True, kernel=kernel)
     system = SimSystem(traces, config=config,
                        scheduler=FcfsScheduler(len(traces)))
     system.run(GOLDEN_CYCLES)
     return system
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 class TestGoldenFingerprints:
-    def test_mix_simple(self):
-        assert run_mix_simple().stats.fingerprint() == GOLDEN_MIX_SIMPLE
+    def test_mix_simple(self, kernel):
+        assert run_mix_simple(kernel).stats.fingerprint() \
+            == GOLDEN_MIX_SIMPLE
 
-    def test_mix_window_shaped(self):
-        assert run_mix_window_shaped().stats.fingerprint() \
+    def test_mix_window_shaped(self, kernel):
+        assert run_mix_window_shaped(kernel).stats.fingerprint() \
             == GOLDEN_MIX_WINDOW_SHAPED
 
-    def test_mix_noc(self):
-        assert run_mix_noc().stats.fingerprint() == GOLDEN_MIX_NOC
+    def test_mix_noc(self, kernel):
+        assert run_mix_noc(kernel).stats.fingerprint() == GOLDEN_MIX_NOC
 
 
 class TestBackToBackDeterminism:

@@ -1,0 +1,284 @@
+"""Unit tests for the calendar-queue event wheel (batched kernel).
+
+:class:`~repro.sim.wheel.WheelEngine` must be observably identical to the
+heap :class:`~repro.sim.engine.Engine`: same ``(when, seq)`` FIFO order,
+same horizon semantics, same clamping, same stop/resume behaviour.  The
+edge cases here target exactly the places where a bucketed wheel could
+diverge from a heap -- far-future overflow parking and migration, index
+wrap-around at multiples of ``SPAN``, and same-cycle ordering when direct
+bucket inserts mix with migrated overflow events.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.wheel import SPAN, WheelEngine
+
+
+def _record(log, name):
+    return lambda: log.append(name)
+
+
+def _noop():
+    pass
+
+
+class TestHeapParity:
+    """The wheel's observable order equals the heap's, event for event."""
+
+    def test_fuzzed_schedule_order_matches_heap(self):
+        # Deterministic fuzz: mixed near/far/same-cycle/past schedules,
+        # including schedules issued from inside callbacks.  Both engines
+        # must produce the identical execution log.
+        rng = random.Random(0xC0FFEE)
+        plan = []
+        for i in range(400):
+            kind = rng.randrange(6)
+            if kind == 0:
+                when = rng.randrange(0, 64)              # dense near-term
+            elif kind == 1:
+                when = rng.randrange(0, 3 * SPAN)        # across wraps
+            elif kind == 2:
+                when = rng.randrange(5 * SPAN, 9 * SPAN)  # deep overflow
+            else:
+                when = rng.randrange(0, 2000)            # typical latency
+            nested = rng.randrange(4) == 0
+            delay = rng.randrange(0, 2 * SPAN)
+            plan.append((when, i, nested, delay))
+
+        def drive(engine):
+            log = []
+
+            def fire(tag, nested, delay):
+                log.append((engine.now, tag))
+                if nested:
+                    engine.schedule_in(
+                        delay, lambda: log.append((engine.now, -tag - 1)))
+
+            for when, tag, nested, delay in plan:
+                engine.schedule(
+                    when,
+                    lambda t=tag, n=nested, d=delay: fire(t, n, d))
+            engine.run()
+            return log
+
+        heap_log = drive(Engine())
+        wheel_log = drive(WheelEngine())
+        assert wheel_log == heap_log
+        assert len(wheel_log) > 400  # nested events actually fired
+
+    def test_same_cycle_fifo_matches_heap(self):
+        for engine in (Engine(), WheelEngine()):
+            log = []
+            for name in "abcdef":
+                engine.schedule(9, _record(log, name))
+            engine.run()
+            assert log == list("abcdef"), type(engine).__name__
+
+    def test_nested_same_cycle_children_run_after_peers(self):
+        engine = WheelEngine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.schedule(5, _record(log, "child-a"))
+            engine.schedule(5, _record(log, "child-b"))
+
+        engine.schedule(5, first)
+        engine.schedule(5, _record(log, "second"))
+        engine.run()
+        assert log == ["first", "second", "child-a", "child-b"]
+
+
+class TestOverflow:
+    """Far-future events park in the heap and migrate without reordering."""
+
+    def test_far_future_event_executes_at_its_cycle(self):
+        engine = WheelEngine()
+        seen = []
+        far = 10 * SPAN + 37
+        engine.schedule(far, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [far]
+        assert engine.now == far
+
+    def test_overflow_preserves_fifo_against_direct_inserts(self):
+        # Event X for cycle `far` parks in overflow (scheduled at cycle 0);
+        # event Y for the same cycle is scheduled later, from within the
+        # wheel window, so it lands in the bucket directly.  X must still
+        # run first: migration precedes any direct insert for that cycle.
+        engine = WheelEngine()
+        log = []
+        far = 2 * SPAN + 100
+        engine.schedule(far, _record(log, "overflow-first"))
+        engine.schedule(far - SPAN + 1,
+                        lambda: engine.schedule(far, _record(log, "direct")))
+        engine.run()
+        assert log == ["overflow-first", "direct"]
+
+    def test_idle_gap_jumps_to_overflow_head(self):
+        engine = WheelEngine()
+        seen = []
+        engine.schedule(5, lambda: None)
+        engine.schedule(4 * SPAN, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [4 * SPAN]
+
+    def test_horizon_short_of_overflow_head_stops_clean(self):
+        engine = WheelEngine()
+        log = []
+        engine.schedule(3 * SPAN, _record(log, "far"))
+        engine.run(until=SPAN)
+        assert log == []
+        assert engine.now == SPAN
+        assert engine.pending_events == 1
+        engine.run()
+        assert log == ["far"]
+
+
+class TestWrapAround:
+    """Bucket indices wrap at SPAN; cycle values do not."""
+
+    def test_events_straddling_wrap_run_in_time_order(self):
+        engine = WheelEngine()
+        log = []
+        # Same bucket index (SPAN apart) forces overflow for the later
+        # one; neighbours around the wrap boundary exercise the circular
+        # occupancy scan in both segments.
+        for when in (SPAN - 2, SPAN - 1, SPAN, SPAN + 1, 2 * SPAN - 2,
+                     2 * SPAN + 3):
+            engine.schedule(when, _record(log, when))
+        engine.run()
+        assert log == sorted(log)
+        assert engine.now == 2 * SPAN + 3
+
+    def test_repeated_full_rotations(self):
+        # A self-rescheduling tick that laps the wheel several times, with
+        # a stride that is not a divisor of SPAN so the index walks every
+        # residue region.
+        engine = WheelEngine()
+        ticks = []
+        stride = 1537
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) < 20:
+                engine.schedule_in(stride, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        assert ticks == [i * stride for i in range(20)]
+
+    def test_bucket_collision_span_apart_keeps_order(self):
+        engine = WheelEngine()
+        log = []
+        engine.schedule(7, _record(log, "near"))
+        engine.schedule(7 + SPAN, _record(log, "far"))
+        engine.schedule(7 + 2 * SPAN, _record(log, "farther"))
+        engine.run()
+        assert log == ["near", "far", "farther"]
+
+
+class TestEngineContract:
+    """The Engine API surface the rest of the simulator relies on."""
+
+    def test_until_is_exclusive_and_resumable(self):
+        engine = WheelEngine()
+        log = []
+        engine.schedule(10, _record(log, 10))
+        engine.run(until=10)
+        assert log == []
+        assert engine.now == 10
+        engine.run(until=20)
+        assert log == [10]
+
+    def test_time_advances_to_horizon_when_idle(self):
+        engine = WheelEngine()
+        engine.run(until=500)
+        assert engine.now == 500
+
+    def test_past_scheduling_clamps_to_now(self):
+        engine = WheelEngine()
+        seen = []
+
+        def late():
+            engine.schedule(engine.now - 100,
+                            lambda: seen.append(engine.now))
+
+        engine.schedule(50, late)
+        engine.run()
+        assert seen == [50]
+
+    def test_stop_keeps_unexecuted_tail(self):
+        engine = WheelEngine()
+        log = []
+        engine.schedule(3, lambda: (log.append("a"), engine.stop()))
+        engine.schedule(3, _record(log, "b"))
+        engine.schedule(3, _record(log, "c"))
+        engine.run()
+        assert log == ["a"]
+        assert engine.pending_events == 2
+        engine.run()
+        assert log[-2:] == ["b", "c"]
+
+    def test_max_events_counts_exactly(self):
+        engine = WheelEngine()
+        log = []
+        for i in range(5):
+            engine.schedule(i, lambda i=i: log.append(i))
+        engine.run(max_events=3)
+        assert log == [0, 1, 2]
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_pending_events_spans_wheel_and_overflow(self):
+        engine = WheelEngine()
+        engine.schedule(1, lambda: None)
+        engine.schedule(10 * SPAN, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_events_executed_accumulates(self):
+        engine = WheelEngine()
+        for i in range(7):
+            engine.schedule(i, lambda: None)
+        engine.run()
+        assert engine.events_executed == 7
+
+    def test_callback_exception_leaves_queue_resumable(self):
+        engine = WheelEngine()
+        log = []
+
+        def boom():
+            raise RuntimeError("injected")
+
+        engine.schedule(5, _record(log, "before"))
+        engine.schedule(6, boom)
+        engine.schedule(7, _record(log, "after"))
+        with pytest.raises(RuntimeError):
+            engine.run()
+        # The failing event is consumed; the tail survives.
+        assert log == ["before"]
+        assert engine.pending_events == 1
+        engine.run()
+        assert log == ["before", "after"]
+
+    def test_pickle_roundtrip_preserves_pending_events(self):
+        # Lambdas don't pickle, so use a module-level callable -- the same
+        # constraint real checkpoints satisfy via bound methods of
+        # picklable components.
+        engine = WheelEngine()
+        engine.schedule(3, _noop)
+        engine.schedule(5 * SPAN, _noop)
+        engine.run(until=1)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.pending_events == 2
+        assert clone.now == engine.now
+        clone.run()
+        assert clone.now == 5 * SPAN
+        assert clone.pending_events == 0
+        assert clone.events_executed == 2
