@@ -9,8 +9,9 @@ SCALE ?= smoke
 CACHE_DIR ?= .repro-cache
 RESULTS_DIR ?= results
 
-.PHONY: all lint analyze typecheck test test-contracts baseline rules \
-	bench bench-quick bench-figures sweep chaos fabric-smoke
+.PHONY: all lint analyze typecheck test test-fast test-contracts \
+	baseline rules bench bench-quick bench-figures sweep chaos \
+	fabric-smoke validate
 
 all: lint analyze test
 
@@ -35,9 +36,18 @@ typecheck:
 test:
 	$(PYTHON) -m pytest -x -q
 
+## tier-1 minus the @pytest.mark.slow golden-trace replays (~3x faster
+## edit loop; CI and `make test` still run everything)
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
 ## tier-1 suite with runtime invariant contracts active
 test-contracts:
 	REPRO_CONTRACTS=1 $(PYTHON) -m pytest -x -q
+
+## seeded property harness + analytic bound checker (reproducible fuzz)
+validate:
+	$(PYTHON) -m repro.validate --scenarios 25 --seed 0
 
 ## regenerate simlint-baseline.json (policy: keep it empty — fix findings)
 baseline:

@@ -67,14 +67,17 @@ def observing(observer: Callable[[ContractViolation], None]) -> Iterator[None]:
         remove_observer(observer)
 
 
-def _violate(message: str) -> None:
-    """Build, announce, and raise a :class:`ContractViolation`.
+def violate(error: ContractViolation) -> None:
+    """Announce a pre-built violation to every observer, then raise it.
 
     Observers run *before* the raise so a harness can capture the
     violation even when an outer layer swallows the exception; an
-    observer that itself raises does not mask the violation.
+    observer that itself raises does not mask the violation.  Runtime
+    monitors that carry structured diagnostics (the bound checker's
+    :class:`repro.validate.BoundViolation`) construct their own
+    :class:`ContractViolation` subclass and hand it here, so one observer
+    registration sees both kinds of failure.
     """
-    error = ContractViolation(message)
     for observer in list(_observers):
         try:
             observer(error)
@@ -82,6 +85,11 @@ def _violate(message: str) -> None:
             # A broken observer must not mask the real violation.
             continue
     raise error
+
+
+def _violate(message: str) -> None:
+    """Build, announce, and raise a plain :class:`ContractViolation`."""
+    violate(ContractViolation(message))
 
 
 def _env_enabled() -> bool:

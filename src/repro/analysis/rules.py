@@ -18,7 +18,7 @@ from .registry import Rule, rule
 
 #: directories whose modules simulate (as opposed to drive experiments)
 SIM_SCOPE = frozenset({"sim", "dram", "core", "sched", "workloads",
-                       "tuning", "resilience"})
+                       "tuning", "resilience", "validate"})
 #: directories allowed to read wall-clock time (they report to humans)
 WALL_CLOCK_EXEMPT = frozenset({"experiments", "benchmarks"})
 

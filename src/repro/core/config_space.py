@@ -20,13 +20,17 @@ from typing import Iterator, List, Optional, Sequence
 from .bins import BinConfig, BinSpec
 
 
-def validate_credit_vector(credits: Sequence[int], spec: BinSpec) -> None:
+def validate_credit_vector(credits: Sequence[int], spec: BinSpec,
+                           core: Optional[int] = None) -> None:
     """Reject credit vectors that cannot drive a live shaper.
 
-    Raises :class:`ValueError` naming the offending bins so a bad config
+    Raises :class:`ValueError` naming the offending bins -- and, when
+    ``core`` is given, the core the vector belongs to -- so a bad config
     fails loudly at construction time instead of surfacing minutes later
     as a silent stall (all-zero credits) or dead weight (credits in bins
-    the geometry cannot reach).  Checks, in order:
+    the geometry cannot reach).  Multi-core callers (the GA's genome
+    validation, scenario builders) should pass ``core`` so the message
+    pinpoints both coordinates of the offending entry.  Checks, in order:
 
     * vector length matches the ``spec.num_bins`` geometry -- extra
       entries would be *unreachable* bins (no inter-arrival time maps to
@@ -36,37 +40,40 @@ def validate_credit_vector(credits: Sequence[int], spec: BinSpec) -> None:
       core forever (``stall_forever``), which is a configuration error,
       not a simulation result.
     """
+    where = "" if core is None else f"core {core}: "
     vector = list(credits)
     if len(vector) != spec.num_bins:
         if len(vector) > spec.num_bins:
             extra = list(range(spec.num_bins, len(vector)))
             raise ValueError(
-                f"credit vector has {len(vector)} entries but the geometry "
-                f"has {spec.num_bins} bins: bin(s) {extra} are unreachable "
-                f"(no inter-arrival time maps beyond bin "
+                f"{where}credit vector has {len(vector)} entries but the "
+                f"geometry has {spec.num_bins} bins: bin(s) {extra} are "
+                f"unreachable (no inter-arrival time maps beyond bin "
                 f"{spec.num_bins - 1})")
         missing = list(range(len(vector), spec.num_bins))
         raise ValueError(
-            f"credit vector has {len(vector)} entries but the geometry "
-            f"has {spec.num_bins} bins: bin(s) {missing} are unconfigured")
+            f"{where}credit vector has {len(vector)} entries but the "
+            f"geometry has {spec.num_bins} bins: bin(s) {missing} are "
+            f"unconfigured")
     negative = [index for index, count in enumerate(vector) if count < 0]
     if negative:
-        raise ValueError(f"bin(s) {negative} hold negative credits")
+        raise ValueError(f"{where}bin(s) {negative} hold negative credits")
     over = [index for index, count in enumerate(vector)
             if count > spec.max_credits]
     if over:
         raise ValueError(
-            f"bin(s) {over} exceed the {spec.max_credits}-credit "
+            f"{where}bin(s) {over} exceed the {spec.max_credits}-credit "
             f"register limit")
     if not any(vector):
         raise ValueError(
-            f"all bins 0..{spec.num_bins - 1} hold zero credits: a "
-            f"zero-credit shaper stalls its core forever")
+            f"{where}all bins 0..{spec.num_bins - 1} hold zero credits: "
+            f"a zero-credit shaper stalls its core forever")
 
 
-def validate_bin_config(config: BinConfig) -> BinConfig:
+def validate_bin_config(config: BinConfig,
+                        core: Optional[int] = None) -> BinConfig:
     """Validate and pass through a :class:`BinConfig` (fluent use)."""
-    validate_credit_vector(config.credits, config.spec)
+    validate_credit_vector(config.credits, config.spec, core=core)
     return config
 
 

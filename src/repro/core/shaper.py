@@ -216,6 +216,17 @@ class MittsShaper(SourceLimiter):
         """Copy of the live per-bin counters."""
         return self.state.snapshot()
 
+    def credit_occupancy(self):
+        """Per-bin ``(n_i, K_i)`` pairs -- the bound checker's probe.
+
+        The analytic oracle (:mod:`repro.validate.bounds`) asserts
+        ``n_i <= K_i`` for every bin from *outside* the credit machinery,
+        so the check stays meaningful even when the contracts invariants
+        inside :class:`~repro.core.credits.CreditState` are compiled out.
+        Reads copies only; never perturbs the registers.
+        """
+        return list(zip(self.state.snapshot(), self.config.credits))
+
     def diagnostics(self) -> dict:
         """Plain-data state snapshot for starvation diagnostics.
 

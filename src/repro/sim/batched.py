@@ -117,12 +117,20 @@ class BatchedCoreModel(CoreModel):
             # run loop may inline the lookup body (the demand-miss path's
             # hottest callee).  Anything else -- a NoC sender, a hand-built
             # rig with its own stats -- keeps the indirect call.
-            send = self.port.send
+            # ``getattr`` with defaults throughout: during checkpoint
+            # restore this can run while the port or LLC is still an
+            # empty shell (pickle builds cyclic graphs in heap-event
+            # order, and a parked port's wake event may reach this core
+            # through llc -> mc -> _respond_cores before the port's own
+            # state is set).  A shell simply fails the fusion test here;
+            # SimSystem.__setstate__ re-binds every core once the whole
+            # graph is restored, so the final binding is unaffected.
+            send = getattr(self.port, "send", None)
             llc = getattr(send, "__self__", None)
             cores = getattr(llc, "_stat_cores", None)
-            if (type(llc) is BatchedLLC and llc._fast
+            if (type(llc) is BatchedLLC and getattr(llc, "_fast", False)
                     and getattr(send, "__func__", None) is BatchedLLC.lookup
-                    and llc._new_req_id is allocator
+                    and getattr(llc, "_new_req_id", None) is allocator
                     and cores is not None and self.core_id < len(cores)
                     and cores[self.core_id] is self.stats):
                 self._fused_llc = llc
@@ -584,6 +592,8 @@ class BatchedMemoryController(MemoryController):
 
     def _complete(self, request: MemoryRequest) -> None:
         self._inflight -= 1
+        if self.probe is not None:
+            self.probe.on_mc_complete(request, self.engine.now)
         core_id = request.core_id
         cores = self._cores
         demand = request.shaper_bin != -2

@@ -39,7 +39,7 @@ class MemoryController:
 
     __slots__ = ("engine", "dram", "scheduler", "complete", "queue_depth",
                  "stats", "queue", "overflow", "_inflight", "_max_inflight",
-                 "_complete_cb", "_cores", "dispatched")
+                 "_complete_cb", "_cores", "dispatched", "probe")
 
     def __init__(self, engine: Engine, dram: DramDevice,
                  scheduler: "MemorySchedulerProtocol",
@@ -63,6 +63,11 @@ class MemoryController:
         #: cumulative requests handed to DRAM -- the forward-progress
         #: watchdog's dequeue probe; never feeds back into behaviour
         self.dispatched = 0
+        #: optional completion observer (``on_mc_complete(request, now)``);
+        #: the analytic bound checker (repro.validate) attaches here to
+        #: measure request sojourn.  Observers never mutate simulator
+        #: state, so attaching one is bit-neutral.
+        self.probe = None
 
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def enqueue(self, request: MemoryRequest) -> None:
@@ -119,6 +124,8 @@ class MemoryController:
     @contracts.invariant(_queue_within_depth, _inflight_within_banks)
     def _complete(self, request: MemoryRequest) -> None:
         self._inflight -= 1
+        if self.probe is not None:
+            self.probe.on_mc_complete(request, self.engine.now)
         if self._cores is not None:
             core = self._cores[request.core_id]
             if request.shaper_bin == -2:

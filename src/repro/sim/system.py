@@ -17,7 +17,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..analysis import contracts
 from ..core.limiter import NoLimiter, SourceLimiter
@@ -338,6 +338,28 @@ class SimSystem:
                     "sharing one period and one aligned boundary")
         self._started = False
 
+    def __setstate__(self, state) -> None:
+        """Checkpoint restore: default slot restore + column re-binding.
+
+        :meth:`BatchedCoreModel._bind_columns` consults the port and LLC
+        to decide its fusion level, but during a cyclic unpickle a core's
+        ``__setstate__`` can run while those objects are still stateless
+        shells (reached through a parked port's pending wake event), in
+        which case the core conservatively binds unfused.  The system is
+        the graph root, so its ``__setstate__`` runs last -- re-binding
+        here (idempotent, pure derivation) restores every core's fusion
+        against the fully restored graph.
+        """
+        plain, slots = state if isinstance(state, tuple) else (state, None)
+        for source in (plain, slots):
+            if source:
+                for name, value in source.items():
+                    setattr(self, name, value)
+        for core in self.cores:
+            rebind = getattr(core, "_bind_columns", None)
+            if rebind is not None:
+                rebind()
+
     def _mlp_for(self, trace, core_id: int,
                  mlps: Optional[Sequence[int]]) -> int:
         if mlps is not None:
@@ -524,6 +546,49 @@ class SimSystem:
         self.stats.row_hits = self.dram.row_hits
         self.stats.row_misses = self.dram.row_misses
         return self.stats
+
+    # ------------------------------------------------------------------
+    # observation probes (read-only; used by repro.validate's BoundChecker)
+
+    def mc_occupancy(self) -> Tuple[int, int, int]:
+        """``(visible, overflow, inflight)`` MC occupancy right now."""
+        mc = self.mc
+        return len(mc.queue), len(mc.overflow), mc._inflight
+
+    def mc_demand_depths(self) -> List[int]:
+        """Per-core count of *demand* requests queued at the MC.
+
+        Counts scheduler-visible plus overflow entries (writebacks,
+        tagged ``shaper_bin == -2``, are excluded); in-flight DRAM
+        requests have left the queue and are not attributable per core
+        without extra bookkeeping, so they are not counted here.
+        """
+        depths = [0] * len(self.cores)
+        for request in self.mc.queue:
+            if request.shaper_bin != -2:
+                depths[request.core_id] += 1
+        for request in self.mc.overflow:
+            if request.shaper_bin != -2:
+                depths[request.core_id] += 1
+        return depths
+
+    def outstanding_caps(self) -> List[int]:
+        """Per-core cap on concurrently outstanding demand misses.
+
+        The MSHR-style bound of each core model: ``mlp`` for the simple
+        model, ``mshrs`` for the window model.  This is the structural
+        term of the analytic backlog bounds -- a core can never have more
+        demand requests below its L1 than it has miss slots.
+        """
+        caps = []
+        for core in self.cores:
+            cap = getattr(core, "mlp", None)
+            if cap is None:
+                cap = getattr(core, "mshrs", None)
+            if cap is None:
+                cap = self.config.mshrs
+            caps.append(cap)
+        return caps
 
     # ------------------------------------------------------------------
     # derived results

@@ -35,9 +35,10 @@ def validate_genome(genome: Genome) -> Genome:
     errors = []
     for core_id, config in enumerate(genome):
         try:
-            validate_credit_vector(config.credits, config.spec)
+            validate_credit_vector(config.credits, config.spec,
+                                   core=core_id)
         except ValueError as exc:
-            errors.append(f"core {core_id}: {exc}")
+            errors.append(str(exc))
     if errors:
         raise ValueError("invalid genome: " + "; ".join(errors))
     return genome

@@ -13,7 +13,14 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
+SLOW_EXAMPLES = {"multiprogram_fairness.py"}
+
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+EXAMPLE_PARAMS = [
+    pytest.param(name, marks=[pytest.mark.slow] * (name in SLOW_EXAMPLES))
+    for name in EXAMPLES
+]
 
 
 def load_example(name):
@@ -25,7 +32,7 @@ def load_example(name):
     return module
 
 
-@pytest.mark.parametrize("name", EXAMPLES)
+@pytest.mark.parametrize("name", EXAMPLE_PARAMS)
 def test_example_runs(name, capsys):
     module = load_example(name)
     # Shrink the budget so the whole suite stays fast.

@@ -198,6 +198,7 @@ class TestCli:
         capsys.readouterr()
 
 
+@pytest.mark.slow
 @pytest.mark.usefixtures("tmp_path")
 class TestKillRecovery:
     """The acceptance scenario, scaled down for the tier-1 suite.

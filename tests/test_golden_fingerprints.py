@@ -82,6 +82,7 @@ class TestGoldenFingerprints:
         assert run_mix_simple(kernel).stats.fingerprint() \
             == GOLDEN_MIX_SIMPLE
 
+    @pytest.mark.slow
     def test_mix_window_shaped(self, kernel):
         assert run_mix_window_shaped(kernel).stats.fingerprint() \
             == GOLDEN_MIX_WINDOW_SHAPED

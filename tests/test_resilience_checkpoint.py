@@ -68,6 +68,7 @@ def _small_system() -> SimSystem:
     return build_mix_simple()
 
 
+@pytest.mark.slow
 class TestGoldenResume:
     @pytest.mark.parametrize("build, golden", GOLDEN_MIXES)
     def test_resume_reproduces_golden(self, build, golden, tmp_path):

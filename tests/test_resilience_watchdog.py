@@ -39,6 +39,7 @@ def _zero_credit_system() -> SimSystem:
     return SimSystem(traces, config=SCALED_MULTI_CONFIG, limiters=limiters)
 
 
+@pytest.mark.slow
 class TestBitNeutrality:
     @pytest.mark.parametrize("checked", [False, True],
                              ids=["contracts-off", "contracts-on"])
