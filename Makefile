@@ -11,7 +11,7 @@ RESULTS_DIR ?= results
 
 .PHONY: all lint analyze typecheck test test-fast test-contracts \
 	baseline rules bench bench-quick bench-figures sweep chaos \
-	fabric-smoke validate
+	fabric-smoke chaos-fleet validate
 
 all: lint analyze test
 
@@ -81,6 +81,14 @@ chaos:
 fabric-smoke:
 	$(PYTHON) -m repro.fabric selfcheck --workdir .fabric-smoke \
 		--num-jobs 24 --cycles 3000
+
+## supervised-fleet acceptance run: a poisoned campaign drained on real
+## storage and again behind a seeded FaultyFS with one pool hard-killed;
+## both must end complete-degraded with identical fingerprints (same
+## scenario CI's chaos-fleet job runs)
+chaos-fleet:
+	$(PYTHON) -m repro.fabric fleetcheck --workdir .fabric-fleet \
+		--num-jobs 24 --cycles 1200
 
 ## run every experiment in parallel with the result cache on;
 ## interrupted sweeps pick up where they left off (same invocation)

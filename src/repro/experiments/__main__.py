@@ -182,7 +182,9 @@ def run_campaign(args, names) -> int:
                              retries=args.retries,
                              progress=not args.no_progress)
     print(f"drained: {counters['done']} done, {counters['failed']} "
-          f"failed, {counters['stolen']} stolen")
+          f"failed, {counters['quarantined']} quarantined, "
+          f"{counters['stolen']} stolen; disposition "
+          f"{counters['disposition']}")
 
     failed = 0
     with ResultsDb(f"{args.campaign}/results.sqlite") as db:
@@ -209,7 +211,12 @@ def run_campaign(args, names) -> int:
             print()
         print(f"results database: {args.campaign}/results.sqlite "
               f"(fingerprint {db.fingerprint(queue.campaign_id)[:16]})")
-    return 1 if failed or counters["failed"] else 0
+    # Exit by disposition: 0 complete, 3 complete-degraded (explicit
+    # holes in the figures), 4 wedged -- same contract as the fabric CLI.
+    from ..fabric.__main__ import disposition_exit
+    if failed or counters["failed"]:
+        return disposition_exit(counters["disposition"]) or 3
+    return disposition_exit(counters["disposition"])
 
 
 # ---------------------------------------------------------------------------

@@ -20,27 +20,62 @@ filesystem:
   of the result set: any worker topology is bit-identical to a serial
   drain, and :meth:`~repro.fabric.db.ResultsDb.fingerprint` proves it.
 
-``python -m repro.fabric`` (submit / work / status / query / plot /
-selfcheck) is the operator surface; :mod:`~repro.fabric.service` holds
-the drain loop and the GA batch adapter those commands share.
+Hardening (this layer is what lets campaigns survive sick machines):
+
+* :mod:`~repro.fabric.storage` -- the single seam through which all
+  queue/DB filesystem traffic flows, so a fault injector can wrap it.
+* :mod:`~repro.fabric.harden` -- :class:`~repro.fabric.harden.FaultyFS`
+  (seeded, deterministic fault injection: torn renames, short writes,
+  ENOSPC, EIO, stale reads) and the ``fleetcheck`` chaos scenario.
+* poison-job quarantine -- deterministic failures dead-letter on first
+  sight, crashes retry up to a budget; ``requeue`` is the escape hatch.
+* :mod:`~repro.fabric.supervise` -- N restarted-with-backoff worker
+  pools behind liveness probes and a crash-loop circuit breaker.
+* :mod:`~repro.fabric.doctor` -- campaign-directory triage and repair.
+
+``python -m repro.fabric`` (submit / work / supervise / status / query /
+plot / doctor / requeue / selfcheck / fleetcheck) is the operator
+surface; :mod:`~repro.fabric.service` holds the drain loop and the GA
+batch adapter those commands share.  Exit codes follow the campaign
+*disposition*: 0 ``complete``, 3 ``complete-degraded``, 4 ``wedged``.
 """
 
 from .db import DbError, ResultsDb, extract_metrics, write_csv
+from .doctor import DoctorFinding, diagnose
+from .harden import (FAULT_CLASSES, FaultPlan, FaultPlanError, FaultyFS,
+                     run_fleetcheck)
 from .manifest import (Manifest, ManifestError, Policy, figure_manifest,
                        parse_manifest)
-from .plot import PlotError, render, render_svg, series_from_table
-from .queue import (DEFAULT_LEASE_SECONDS, RESULT_DONE, RESULT_FAILED,
-                    CampaignQueue, ClaimedJob, QueueError, find_campaign,
+from .plot import (PlotError, count_holes, render, render_svg,
+                   series_from_table)
+from .queue import (DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS,
+                    DISPOSITION_COMPLETE, DISPOSITION_DEGRADED,
+                    DISPOSITION_IN_PROGRESS, DISPOSITION_WEDGED,
+                    RESULT_DONE, RESULT_FAILED, CampaignQueue,
+                    ClaimedJob, Diagnosis, QueueError, find_campaign,
                     list_campaigns)
 from .service import (FabricBatchEvaluator, default_worker_id,
                       run_campaign_serial, work_campaign)
+from .storage import RealStorage, Storage
+from .supervise import run_supervisor
 
 __all__ = [
     "CampaignQueue",
     "ClaimedJob",
     "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DISPOSITION_COMPLETE",
+    "DISPOSITION_DEGRADED",
+    "DISPOSITION_IN_PROGRESS",
+    "DISPOSITION_WEDGED",
     "DbError",
+    "Diagnosis",
+    "DoctorFinding",
+    "FAULT_CLASSES",
     "FabricBatchEvaluator",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultyFS",
     "Manifest",
     "ManifestError",
     "Policy",
@@ -48,8 +83,12 @@ __all__ = [
     "QueueError",
     "RESULT_DONE",
     "RESULT_FAILED",
+    "RealStorage",
     "ResultsDb",
+    "Storage",
+    "count_holes",
     "default_worker_id",
+    "diagnose",
     "extract_metrics",
     "figure_manifest",
     "find_campaign",
@@ -58,6 +97,8 @@ __all__ = [
     "render",
     "render_svg",
     "run_campaign_serial",
+    "run_fleetcheck",
+    "run_supervisor",
     "series_from_table",
     "work_campaign",
     "write_csv",

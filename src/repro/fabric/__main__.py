@@ -4,36 +4,56 @@ Usage::
 
     python -m repro.fabric submit sweep.yaml --queue-root runs
     python -m repro.fabric work runs                  # drain (several OK)
+    python -m repro.fabric supervise runs --pools 4   # babysat fleet
     python -m repro.fabric status runs --watch
     python -m repro.fabric query runs --csv out.csv
     python -m repro.fabric query runs --sql \\
         "SELECT name, value FROM metrics JOIN campaigns USING (campaign_id)"
     python -m repro.fabric plot runs -x seed -y row_hit_rate -o fig.svg
+    python -m repro.fabric doctor runs --repair       # triage stuck state
+    python -m repro.fabric requeue runs 17            # un-quarantine job 17
     python -m repro.fabric selfcheck --workdir /tmp/fabric-check
+    python -m repro.fabric fleetcheck --workdir /tmp/fabric-fleet
 
 ``submit`` expands a manifest once; ``work`` can be started any number
 of times, on any schedule -- worker pools coordinate purely through the
 queue directory (claims + leases), and a killed pool's jobs are stolen
-after its leases lapse.  ``query``/``plot`` merge the queue into the
+after its leases lapse.  ``supervise`` runs N such pools as restarted-
+with-backoff children.  ``query``/``plot`` merge the queue into the
 results database first, so they always see the latest drained state;
 ``--no-merge`` reads the database as-is (the "from the DB alone" path).
+
+Exit codes follow the campaign disposition wherever one exists:
+0 = ``complete``, 3 = ``complete-degraded`` (terminal, but with
+failed/quarantined jobs -- results have explicit holes), 4 = ``wedged``
+(cannot terminate without repair), 2 = operator error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from ..metrics.report import format_table
 from ..runner import wallclock
 from .db import DbError, ResultsDb, write_csv
+from .doctor import diagnose
+from .harden import (INJECTION_SIDECAR_PREFIX, FaultPlan, FaultPlanError,
+                     FaultyFS, run_fleetcheck)
 from .manifest import ManifestError, parse_manifest
-from .plot import PlotError, render, series_from_table
-from .queue import (DEFAULT_LEASE_SECONDS, CampaignQueue, QueueError,
-                    find_campaign, list_campaigns)
+from .plot import PlotError, count_holes, render, series_from_table
+from .queue import (DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS,
+                    DISPOSITION_COMPLETE, DISPOSITION_DEGRADED,
+                    DISPOSITION_IN_PROGRESS, DISPOSITION_WEDGED,
+                    CampaignQueue, QueueError, find_campaign,
+                    list_campaigns)
 from .service import (DEFAULT_POLL_SECONDS, default_worker_id,
                       work_campaign)
+from .supervise import (DEFAULT_BACKOFF_SECONDS, DEFAULT_MAX_RESTARTS,
+                        DEFAULT_POOLS, DEFAULT_RESTART_WINDOW_SECONDS,
+                        run_supervisor)
 
 #: queue root used when --queue-root / the positional root is omitted
 DEFAULT_QUEUE_ROOT = ".repro-fabric"
@@ -73,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker id recorded on claims "
                            "(default: host:pid)")
     work.add_argument("--retries", type=int, default=2)
+    work.add_argument("--max-attempts", type=int,
+                      default=DEFAULT_MAX_ATTEMPTS,
+                      help="claim attempts before a job is quarantined "
+                           "to the dead-letter directory "
+                           f"(default: {DEFAULT_MAX_ATTEMPTS}); "
+                           "deterministic failures quarantine on the "
+                           "first")
     work.add_argument("--no-wait", action="store_true",
                       help="exit when nothing is claimable instead of "
                            "polling until the campaign drains")
@@ -83,6 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="runner progress lines on stderr")
     work.add_argument("--die-after-claims", type=int, default=None,
                       help=argparse.SUPPRESS)  # chaos/selfcheck hook
+    work.add_argument("--inject-faults", default=None,
+                      metavar="PLAN",
+                      help="route this worker's queue IO through a "
+                           "seeded fault injector, e.g. "
+                           "'seed=7,rate=0.05,faults=enospc+eio' "
+                           "(chaos testing; rate=0 = quiescent shim)")
+
+    supervise = commands.add_parser(
+        "supervise",
+        help="run N worker pools as supervised child processes with "
+             "liveness probes, backoff restarts, and a crash-loop "
+             "circuit breaker")
+    supervise.add_argument("queue_root", nargs="?",
+                           default=DEFAULT_QUEUE_ROOT)
+    supervise.add_argument("--campaign", default=None)
+    supervise.add_argument("--pools", type=int, default=DEFAULT_POOLS,
+                           help=f"worker pools (default: {DEFAULT_POOLS})")
+    supervise.add_argument("--jobs", type=int, default=1,
+                           help="worker processes per pool")
+    supervise.add_argument("--lease", type=float,
+                           default=DEFAULT_LEASE_SECONDS)
+    supervise.add_argument("--max-attempts", type=int,
+                           default=DEFAULT_MAX_ATTEMPTS)
+    supervise.add_argument("--seed", type=int, default=0,
+                           help="restart-jitter seed (reproducible "
+                                "schedules)")
+    supervise.add_argument("--backoff", type=float,
+                           default=DEFAULT_BACKOFF_SECONDS,
+                           help="base restart backoff seconds; doubles "
+                                "per consecutive restart, plus jitter")
+    supervise.add_argument("--max-restarts", type=int,
+                           default=DEFAULT_MAX_RESTARTS,
+                           help="restarts within --window before a "
+                                "pool's circuit breaker trips")
+    supervise.add_argument("--window", type=float,
+                           default=DEFAULT_RESTART_WINDOW_SECONDS)
+    supervise.add_argument("--timeout", type=float, default=600.0,
+                           help="overall wall-clock ceiling seconds")
+    supervise.add_argument("--inject-faults", default=None,
+                           metavar="PLAN",
+                           help="forward a fault plan to every child")
+    supervise.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+    supervise.add_argument("--die-first-spawn-after-claims", type=int,
+                           default=None,
+                           help=argparse.SUPPRESS)  # chaos hook
 
     status = commands.add_parser(
         "status", help="campaign progress, workers, and ETA")
@@ -133,6 +206,30 @@ def build_parser() -> argparse.ArgumentParser:
                            "matplotlib and falls back to .svg)")
     plot.add_argument("--title", default=None)
 
+    doctor = commands.add_parser(
+        "doctor",
+        help="scan a campaign for orphaned claims, damaged files, and "
+             "dead-letter inconsistencies")
+    doctor.add_argument("queue_root", nargs="?",
+                        default=DEFAULT_QUEUE_ROOT)
+    doctor.add_argument("--campaign", default=None)
+    doctor.add_argument("--repair", action="store_true",
+                        help="apply the safe repair for every finding "
+                             "that has one (release, delete, "
+                             "re-quarantine)")
+    doctor.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+
+    requeue = commands.add_parser(
+        "requeue",
+        help="make a quarantined (dead-letter) job runnable again")
+    requeue.add_argument("queue_root", nargs="?",
+                         default=DEFAULT_QUEUE_ROOT)
+    requeue.add_argument("--campaign", default=None)
+    requeue.add_argument("indices", nargs="*", type=int,
+                         help="job indices to requeue (default: every "
+                              "dead-letter entry)")
+
     selfcheck = commands.add_parser(
         "selfcheck",
         help="two pools, one killed mid-campaign; assert the merged "
@@ -142,7 +239,28 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument("--cycles", type=int, default=3_000)
     selfcheck.add_argument("--json", action="store_true",
                            help="print the report as JSON")
+
+    fleetcheck = commands.add_parser(
+        "fleetcheck",
+        help="supervised fleets over a poisoned campaign behind the "
+             "fault injector; assert complete-degraded disposition and "
+             "fingerprint equality")
+    fleetcheck.add_argument("--workdir",
+                            default=".repro-fabric-fleetcheck")
+    fleetcheck.add_argument("--num-jobs", type=int, default=24)
+    fleetcheck.add_argument("--cycles", type=int, default=1_200)
+    fleetcheck.add_argument("--seed", type=int, default=7)
+    fleetcheck.add_argument("--timeout", type=float, default=600.0)
+    fleetcheck.add_argument("--json", action="store_true",
+                            help="print the report as JSON")
     return parser
+
+
+def disposition_exit(disposition: str) -> int:
+    """Exit-code contract: dispositions are machine-readable."""
+    return {DISPOSITION_COMPLETE: 0,
+            DISPOSITION_DEGRADED: 3,
+            DISPOSITION_WEDGED: 4}.get(disposition, 0)
 
 
 # ----------------------------------------------------------------------
@@ -160,48 +278,141 @@ def cmd_submit(args) -> int:
 
 def cmd_work(args) -> int:
     queue = find_campaign(args.queue_root, args.campaign)
+    shim = None
+    if args.inject_faults is not None:
+        # The shim wraps *this worker's* view of the queue; other
+        # workers (and the submitting process) see the real filesystem.
+        shim = FaultyFS(FaultPlan.parse(args.inject_faults),
+                        inner=queue.storage)
+        queue.storage = shim
     counters = work_campaign(
         queue, worker=args.worker or default_worker_id(),
         jobs=args.jobs, lease_seconds=args.lease,
         poll_seconds=args.poll, wait_for_drain=not args.no_wait,
         max_jobs=args.max_jobs, retries=args.retries,
+        max_attempts=args.max_attempts,
         progress=args.progress, pool=not args.inline,
         die_after_claims=args.die_after_claims)
+    if shim is not None:
+        # Sidecar (written outside the shim): lets the driving process
+        # assert that faults actually fired, not merely were survived.
+        sidecar = (queue.directory
+                   / f"{INJECTION_SIDECAR_PREFIX}{os.getpid()}.json")
+        sidecar.write_text(json.dumps(shim.counts(), sort_keys=True,
+                                      indent=1), encoding="utf-8")
     print(f"campaign {queue.campaign_id}: executed "
           f"{counters['executed']} job(s) "
           f"({counters['done']} done, {counters['failed']} failed, "
-          f"{counters['stolen']} stolen)")
-    return 1 if counters["failed"] else 0
+          f"{counters['quarantined']} quarantined, "
+          f"{counters['released']} released for retry, "
+          f"{counters['stolen']} stolen); "
+          f"disposition {counters['disposition']}")
+    return disposition_exit(counters["disposition"])
 
 
-def _print_status(queue: CampaignQueue) -> bool:
+def cmd_supervise(args) -> int:
+    queue = find_campaign(args.queue_root, args.campaign)
+    first_spawn_extra = ()
+    if args.die_first_spawn_after_claims is not None:
+        first_spawn_extra = ("--die-after-claims",
+                             str(args.die_first_spawn_after_claims))
+    report = run_supervisor(
+        queue, pools=args.pools, jobs=args.jobs,
+        lease_seconds=args.lease, max_attempts=args.max_attempts,
+        seed=args.seed, backoff_seconds=args.backoff,
+        max_restarts=args.max_restarts, window_seconds=args.window,
+        inject_faults=args.inject_faults,
+        first_spawn_extra=first_spawn_extra, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return disposition_exit(report["disposition"])
+
+
+def cmd_doctor(args) -> int:
+    queue = find_campaign(args.queue_root, args.campaign)
+    report = diagnose(queue, repair=args.repair)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if report["clean"]:
+            print(f"campaign {queue.campaign_id}: clean")
+        for finding in report["findings"]:
+            state = ("repaired" if finding["repaired"]
+                     else (finding["repair"] or "not repairable"))
+            print(f"{finding['category']}: {finding['path']} -- "
+                  f"{finding['detail']} [{state}]")
+        if report["findings"]:
+            print(f"{len(report['findings'])} finding(s), "
+                  f"{report['repaired']} repaired, "
+                  f"{report['unrepairable']} not repairable")
+    return 0 if report["clean"] else 1
+
+
+def cmd_requeue(args) -> int:
+    queue = find_campaign(args.queue_root, args.campaign)
+    indices = args.indices or queue.dead_letter_indices()
+    if not indices:
+        print(f"campaign {queue.campaign_id}: dead-letter directory "
+              f"is empty")
+        return 0
+    for index in indices:
+        diagnosis = queue.requeue(index)
+        print(f"requeued job {index} ({diagnosis.job_id}): was "
+              f"quarantined for {diagnosis.reason} "
+              f"({diagnosis.error_type}: {diagnosis.message})")
+    return 0
+
+
+def cmd_fleetcheck(args) -> int:
+    report = run_fleetcheck(args.workdir, num_jobs=args.num_jobs,
+                            cycles=args.cycles, seed=args.seed,
+                            timeout=args.timeout)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
+
+
+def _print_status(queue: CampaignQueue) -> str:
     snapshot = queue.snapshot()
     eta = CampaignQueue.eta_seconds(snapshot)
     eta_text = "unknown" if eta is None else f"{eta:.0f}s"
     workers = ", ".join(f"{name} ({count})" for name, count
                         in snapshot["workers"].items()) or "none"
+    extras = []
+    if snapshot["quarantined"]:
+        extras.append(f"{snapshot['quarantined']} quarantined "
+                      f"({snapshot['dead_letter']} dead-letter)")
+    if snapshot["damaged"]:
+        extras.append(f"{snapshot['damaged']} damaged")
+    if snapshot["corruption"]["total"]:
+        extras.append(f"{snapshot['corruption']['total']} corruption "
+                      f"note(s)")
+    extra_text = ("; " + ", ".join(extras)) if extras else ""
     print(f"campaign {snapshot['campaign_id']}: "
           f"{snapshot['done']}/{snapshot['total']} done, "
           f"{snapshot['failed']} failed, {snapshot['running']} running, "
           f"{snapshot['stale']} stale, {snapshot['pending']} pending; "
-          f"eta {eta_text}; workers: {workers}")
-    return snapshot["done"] + snapshot["failed"] >= snapshot["total"]
+          f"eta {eta_text}; workers: {workers}; "
+          f"disposition {snapshot['disposition']}{extra_text}")
+    return snapshot["disposition"]
 
 
 def cmd_status(args) -> int:
+    # The exit code carries the (worst) disposition, so scripts can ask
+    # "done and clean?" without parsing: 0 complete, 3 degraded,
+    # 4 wedged (in-progress reports 0 -- not an error, just not done).
     if args.campaign is None and not args.watch:
         queues = list_campaigns(args.queue_root)
         if not queues:
             print(f"no submitted campaigns under {args.queue_root}")
             return 1
-        for queue in queues:
-            _print_status(queue)
-        return 0
+        return max(disposition_exit(_print_status(queue))
+                   for queue in queues)
     queue = find_campaign(args.queue_root, args.campaign)
     while True:
-        finished = _print_status(queue)
-        if finished or not args.watch:
-            return 0
+        disposition = _print_status(queue)
+        if disposition != DISPOSITION_IN_PROGRESS or not args.watch:
+            return disposition_exit(disposition)
         wallclock.sleep(args.interval)
 
 
@@ -253,9 +464,17 @@ def cmd_plot(args) -> int:
         headers, rows = db.table(campaign_id)
     series = series_from_table(headers, rows, x=args.x, y=args.y,
                                group_by=args.group_by)
-    out = render(series,
-                 title=args.title or f"campaign {campaign_id}: "
-                                     f"{args.y} vs {args.x}",
+    holes = count_holes(headers, rows, x=args.x, y=args.y)
+    title = args.title or (f"campaign {campaign_id}: "
+                           f"{args.y} vs {args.x}")
+    if holes:
+        # Degraded campaigns render with explicit holes, never by
+        # silently interpolating over quarantined jobs.
+        title += f" ({holes} job(s) missing)"
+        print(f"warning: {holes} job(s) have no {args.y} value "
+              f"(failed or quarantined); the figure has explicit holes",
+              file=sys.stderr)
+    out = render(series, title=title,
                  x_label=args.x, y_label=args.y, out_path=args.out)
     print(f"figure written to {out}")
     return 0
@@ -277,14 +496,19 @@ def main(argv=None) -> int:
     handler = {
         "submit": cmd_submit,
         "work": cmd_work,
+        "supervise": cmd_supervise,
         "status": cmd_status,
         "query": cmd_query,
         "plot": cmd_plot,
+        "doctor": cmd_doctor,
+        "requeue": cmd_requeue,
         "selfcheck": cmd_selfcheck,
+        "fleetcheck": cmd_fleetcheck,
     }[args.command]
     try:
         return handler(args)
-    except (ManifestError, QueueError, DbError, PlotError) as exc:
+    except (ManifestError, QueueError, DbError, PlotError,
+            FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -134,8 +134,17 @@ class ResultsDb:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.connection = sqlite3.connect(str(self.path))
-        self.connection.executescript(_SCHEMA)
+        try:
+            self.connection = sqlite3.connect(str(self.path))
+            self.connection.executescript(_SCHEMA)
+        except sqlite3.DatabaseError:
+            # The database is a disposable *view* of the queue (every
+            # merge rebuilds its rows), so a corrupted file -- a torn
+            # write, a truncation -- is recreated, not fatal.
+            self.connection.close()
+            self.path.unlink(missing_ok=True)
+            self.connection = sqlite3.connect(str(self.path))
+            self.connection.executescript(_SCHEMA)
 
     def close(self) -> None:
         self.connection.close()
@@ -203,26 +212,49 @@ class ResultsDb:
     # ------------------------------------------------------------------
     # fingerprint
 
-    def fingerprint(self, campaign_id: str) -> str:
+    def fingerprint(self, campaign_id: str,
+                    only_status: Optional[str] = None) -> str:
         """SHA-256 over the campaign's deterministic rows.
 
         Covers jobs (identity, spec hashes, params) and results
         (status, metrics, values, errors, code fingerprint) in index
         order; excludes attempts/worker/duration, which describe *how*
         a result was obtained rather than *what* it is.
+
+        ``only_status`` restricts both tables to jobs whose result has
+        that status -- e.g. ``RESULT_DONE`` compares only the healthy
+        rows of two degraded campaigns, independent of how their
+        poison jobs were diagnosed.
         """
         digest = hashlib.sha256()
         cursor = self.connection.cursor()
-        for row in cursor.execute(
-                "SELECT job_index, job_id, spec_hash, seed, scale, "
-                "params_json FROM jobs WHERE campaign_id = ? "
-                "ORDER BY job_index", (campaign_id,)):
+        if only_status is None:
+            jobs_sql = ("SELECT job_index, job_id, spec_hash, seed, "
+                        "scale, params_json FROM jobs "
+                        "WHERE campaign_id = ? ORDER BY job_index")
+            jobs_params: Tuple[Any, ...] = (campaign_id,)
+        else:
+            jobs_sql = (
+                "SELECT j.job_index, j.job_id, j.spec_hash, j.seed, "
+                "j.scale, j.params_json FROM jobs j JOIN results r "
+                "ON r.campaign_id = j.campaign_id "
+                "AND r.job_index = j.job_index "
+                "WHERE j.campaign_id = ? AND r.status = ? "
+                "ORDER BY j.job_index")
+            jobs_params = (campaign_id, only_status)
+        for row in cursor.execute(jobs_sql, jobs_params):
             digest.update(repr(row).encode("utf-8"))
             digest.update(b"\0")
         columns = ", ".join(_FINGERPRINT_RESULT_COLUMNS)
-        for row in cursor.execute(
-                f"SELECT {columns} FROM results WHERE campaign_id = ? "
-                f"ORDER BY job_index", (campaign_id,)):
+        results_sql = (f"SELECT {columns} FROM results "
+                       f"WHERE campaign_id = ? ORDER BY job_index")
+        results_params: Tuple[Any, ...] = (campaign_id,)
+        if only_status is not None:
+            results_sql = (f"SELECT {columns} FROM results "
+                           f"WHERE campaign_id = ? AND status = ? "
+                           f"ORDER BY job_index")
+            results_params = (campaign_id, only_status)
+        for row in cursor.execute(results_sql, results_params):
             digest.update(repr(row).encode("utf-8"))
             digest.update(b"\0")
         return digest.hexdigest()

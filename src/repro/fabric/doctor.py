@@ -1,0 +1,226 @@
+"""``fabric doctor``: campaign directory triage and repair.
+
+The queue's protocol is self-healing for the failures it anticipates
+(expired leases are stolen, damaged claims are treated as stealable,
+double-writes converge).  What it cannot heal alone is *stuck* state: a
+claim orphaned next to a finished result, a result file a sick
+filesystem truncated, a dead-letter entry whose quarantine was
+interrupted between its two writes, tombstone debris from torn renames.
+``doctor`` scans one campaign directory, classifies every anomaly into
+a :class:`DoctorFinding`, and -- with ``--repair`` -- applies the
+narrowest safe fix:
+
+=======================  ==============================================
+finding                  repair
+=======================  ==============================================
+orphaned-claim           release (the result is the commit marker)
+damaged-claim            release (holder cannot prove liveness)
+damaged-result           delete (the job is deterministic; it re-runs)
+dead-letter-no-result    re-quarantine (rewrite the terminal result
+                         from the stored diagnosis)
+dead-letter-stale        delete the dead entry (the job later
+                         succeeded, e.g. after ``requeue``)
+damaged-dead-letter      delete (unreadable diagnosis; the failed
+                         result still stands)
+damaged-ledger           delete (resets the attempt count -- safe:
+                         the ceiling re-applies from zero)
+debris                   delete (tmp/tombstone files are never
+                         load-bearing)
+damaged-job              none -- reported only; the spec is the one
+                         artifact doctor cannot reconstruct
+                         (resubmit the manifest)
+damaged-header           none -- resubmit the manifest
+=======================  ==============================================
+
+Repairs only ever *remove* stuck state or rewrite it from durable
+records; doctor never invents results, so a repaired campaign still
+merges to a pure function of its (re-)executed jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .queue import (RESULT_DONE, CampaignQueue, ClaimedJob, Diagnosis,
+                    QueueError)
+
+#: canonical per-index file name (everything else in a state dir is debris)
+_INDEX_FILE = re.compile(r"^\d{6}\.json$")
+
+
+@dataclasses.dataclass
+class DoctorFinding:
+    """One anomaly found in a campaign directory."""
+
+    category: str
+    path: str
+    detail: str
+    index: Optional[int] = None
+    repair: Optional[str] = None   # None = not repairable by doctor
+    repaired: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _debris(queue: CampaignQueue,
+            directory: Path) -> List[DoctorFinding]:
+    try:
+        names = queue.storage.listdir(directory)
+    except OSError:
+        return []
+    return [DoctorFinding(category="debris",
+                          path=str(directory / name),
+                          detail="tmp/tombstone file", repair="delete")
+            for name in names if not _INDEX_FILE.match(name)]
+
+
+def diagnose(queue: CampaignQueue,
+             repair: bool = False) -> Dict[str, Any]:
+    """Scan one campaign; optionally repair.  Returns the report dict
+    (``clean``, ``findings``, ``repaired``, ``by_category``)."""
+    findings: List[DoctorFinding] = []
+
+    _header, header_state = queue._load_classified(
+        queue.directory / "manifest.json", "header")
+    if header_state != "ok":
+        findings.append(DoctorFinding(
+            category="damaged-header",
+            path=str(queue.directory / "manifest.json"),
+            detail=f"campaign header {header_state}; resubmit the "
+                   f"manifest"))
+
+    try:
+        indices = queue.job_indices()
+    except QueueError as exc:
+        findings.append(DoctorFinding(
+            category="damaged-header", path=str(queue.jobs_dir),
+            detail=str(exc)))
+        indices = []
+
+    dead = set(queue.dead_letter_indices())
+    for index in indices:
+        job_path = queue.jobs_dir / f"{index:06d}.json"
+        try:
+            queue.load_spec(index)
+        except QueueError as exc:
+            findings.append(DoctorFinding(
+                category="damaged-job", path=str(job_path),
+                detail=str(exc), index=index))
+
+        result, result_state = queue._load_classified(
+            queue.result_path(index), "result")
+        if result_state == "damaged":
+            findings.append(DoctorFinding(
+                category="damaged-result",
+                path=str(queue.result_path(index)),
+                detail="result exists but cannot be parsed",
+                index=index, repair="delete"))
+
+        claim_path = queue._claim_path(index)
+        _claim, claim_state = queue._load_classified(claim_path, "claim")
+        if claim_state == "damaged":
+            findings.append(DoctorFinding(
+                category="damaged-claim", path=str(claim_path),
+                detail="claim exists but cannot be parsed",
+                index=index, repair="release"))
+        elif claim_state == "ok" and result_state == "ok":
+            findings.append(DoctorFinding(
+                category="orphaned-claim", path=str(claim_path),
+                detail="claim held on a job that already has a result",
+                index=index, repair="release"))
+
+        _ledger, ledger_state = queue._load_classified(
+            queue._ledger_path(index), "ledger")
+        if ledger_state == "damaged":
+            findings.append(DoctorFinding(
+                category="damaged-ledger",
+                path=str(queue._ledger_path(index)),
+                detail="attempt ledger cannot be parsed",
+                index=index, repair="delete"))
+
+        if index in dead:
+            diagnosis = queue.load_diagnosis(index)
+            if diagnosis is None:
+                findings.append(DoctorFinding(
+                    category="damaged-dead-letter",
+                    path=str(queue.dead_path(index)),
+                    detail="dead-letter entry cannot be parsed",
+                    index=index, repair="delete"))
+            elif result_state != "ok":
+                findings.append(DoctorFinding(
+                    category="dead-letter-no-result",
+                    path=str(queue.dead_path(index)),
+                    detail="quarantine was interrupted before its "
+                           "terminal result landed",
+                    index=index, repair="re-quarantine"))
+            elif result is not None \
+                    and result.get("status") == RESULT_DONE:
+                findings.append(DoctorFinding(
+                    category="dead-letter-stale",
+                    path=str(queue.dead_path(index)),
+                    detail="job has a successful result; the dead "
+                           "letter is historical",
+                    index=index, repair="delete"))
+
+    for directory in (queue.jobs_dir, queue.claims_dir, queue.results_dir,
+                      queue.ledger_dir, queue.dead_dir):
+        findings.extend(_debris(queue, directory))
+
+    repaired = 0
+    if repair:
+        for finding in findings:
+            if _apply_repair(queue, finding):
+                repaired += 1
+
+    by_category: Dict[str, int] = {}
+    for finding in findings:
+        by_category[finding.category] = \
+            by_category.get(finding.category, 0) + 1
+    return {
+        "campaign_id": queue.campaign_id,
+        "clean": not findings,
+        "findings": [finding.as_dict() for finding in findings],
+        "by_category": dict(sorted(by_category.items())),
+        "repaired": repaired,
+        "unrepairable": sum(1 for finding in findings
+                            if finding.repair is None),
+    }
+
+
+def _apply_repair(queue: CampaignQueue, finding: DoctorFinding) -> bool:
+    """Apply one finding's repair; returns True when something was
+    fixed.  Failures are left un-repaired (still listed) rather than
+    raised -- doctor must survive the same sick filesystem it triages.
+    """
+    if finding.repair is None:
+        return False
+    try:
+        if finding.repair == "delete":
+            queue.storage.unlink(finding.path)
+        elif finding.repair == "release":
+            assert finding.index is not None
+            queue.release(finding.index)
+        elif finding.repair == "re-quarantine":
+            assert finding.index is not None
+            diagnosis = queue.load_diagnosis(finding.index)
+            if diagnosis is None:
+                return False
+            spec = queue.load_spec(finding.index)
+            job = ClaimedJob(index=finding.index, spec=spec,
+                             attempt=diagnosis.attempts,
+                             claim_path=queue._claim_path(finding.index),
+                             worker="doctor")
+            queue.quarantine(job, diagnosis)
+        else:
+            return False
+    except (OSError, QueueError):
+        return False
+    finding.repaired = True
+    return True
+
+
+__all__ = ["DoctorFinding", "diagnose"]

@@ -1,0 +1,415 @@
+"""Fabric hardening: deterministic storage fault injection.
+
+This is the fabric analogue of :mod:`repro.resilience.chaos`: robustness
+code that is never exercised is decoration, so :class:`FaultyFS` wraps
+the queue's storage seam (:mod:`repro.fabric.storage`) and injects the
+failure modes that dominate long campaigns on real shared filesystems --
+**torn renames** (tmp written, replace never happens), **short writes**
+(destination silently truncated), **ENOSPC**, **EIO**, and **stale
+reads** (an NFS-flavoured cache serving the previous version of a file).
+
+Every injection is drawn from one ``random.Random(seed)`` stream, so a
+failing run reproduces exactly from its plan; :attr:`FaultyFS.injected`
+counts what actually fired so tests can assert the recovery path was
+*reached*, not merely survived.  A plan with ``rate=0`` is the
+*quiescent shim*: every operation routed through the fault layer,
+nothing injected -- the configuration the selfcheck pins fingerprint
+equality under, proving the seam itself is bit-neutral.
+
+``python -m repro.fabric work --inject-faults "seed=7,rate=0.05"``
+attaches a shim inside a worker process; :func:`run_fleetcheck` (the CI
+``chaos-fleet`` scenario) drives supervised worker fleets over a
+poisoned campaign with the shim active and asserts the campaign still
+terminates with an explicit ``complete-degraded`` disposition.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .storage import PathLike, RealStorage, Storage
+
+#: every fault class FaultyFS can inject
+FAULT_CLASSES = ("torn-rename", "short-write", "enospc", "eio",
+                 "stale-read")
+
+#: faults applicable per operation kind
+_WRITE_FAULTS = ("torn-rename", "short-write", "enospc")
+_CREATE_FAULTS = ("enospc",)
+_READ_FAULTS = ("eio", "stale-read")
+_RENAME_FAULTS = ("eio",)
+
+
+class FaultPlanError(ValueError):
+    """An ``--inject-faults`` specification is malformed."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which faults to inject, and how often.
+
+    ``rate`` is the per-operation injection probability; ``limit``
+    (optional) caps total injections so a test can say "exactly the
+    first N writes are sick, then the filesystem heals".  ``rate=0`` is
+    the quiescent shim used to pin bit-neutrality.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    faults: Tuple[str, ...] = FAULT_CLASSES
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"rate must be in [0, 1], got {self.rate}")
+        unknown = sorted(set(self.faults) - set(FAULT_CLASSES))
+        if unknown:
+            raise FaultPlanError(f"unknown fault class(es) {unknown}; "
+                                 f"known: {list(FAULT_CLASSES)}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI form: ``seed=7,rate=0.05,faults=enospc+eio``."""
+        seed, rate, faults, limit = 0, 0.0, FAULT_CLASSES, None
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            if "=" not in part:
+                raise FaultPlanError(f"expected key=value, got {part!r}")
+            key, value = part.split("=", 1)
+            if key not in ("seed", "rate", "faults", "limit"):
+                raise FaultPlanError(
+                    f"unknown key {key!r}; known: seed, rate, "
+                    f"faults, limit")
+            try:
+                if key == "seed":
+                    seed = int(value)
+                elif key == "rate":
+                    rate = float(value)
+                elif key == "limit":
+                    limit = int(value)
+                else:
+                    faults = tuple(value.split("+"))
+            except ValueError as exc:
+                # Note FaultPlanError is itself a ValueError: the key
+                # check must stay outside this try or it would be
+                # re-reported as a bad value.
+                raise FaultPlanError(
+                    f"bad value for {key!r}: {value!r}") from exc
+        return cls(seed=seed, rate=rate, faults=faults, limit=limit)
+
+    def spec(self) -> str:
+        """The CLI form (inverse of :meth:`parse`), for subprocesses."""
+        parts = [f"seed={self.seed}", f"rate={self.rate:g}",
+                 f"faults={'+'.join(self.faults)}"]
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return ",".join(parts)
+
+
+class FaultyFS(Storage):
+    """Storage shim that deterministically injects filesystem faults.
+
+    Wraps an inner (real) storage; each operation first consults the
+    seeded stream to decide whether one of the plan's applicable fault
+    classes fires.  Injections are *honest* about their failure mode:
+
+    * ``torn-rename`` -- the tmp file is written, the destination is
+      never replaced, and the caller sees ``EIO`` (the footprint of a
+      crash between write and rename: debris plus an unchanged target).
+    * ``short-write`` -- the destination atomically receives a truncated
+      prefix and the call **returns success** (silent corruption; only a
+      read-back verify can catch it).
+    * ``enospc`` / ``eio`` -- the errno is raised before any mutation.
+    * ``stale-read`` -- the *previous* committed content of the path is
+      returned (an NFS attribute-cache lie); only meaningful once a path
+      has been rewritten at least once.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 inner: Optional[Storage] = None) -> None:
+        self.plan = plan
+        self.inner = inner or RealStorage()
+        self._rng = random.Random(("faultyfs", plan.seed).__repr__())
+        #: injections that actually fired, by fault class
+        self.injected: Dict[str, int] = {}
+        #: total operations routed through the shim
+        self.operations = 0
+        #: previous committed content per path (stale-read material)
+        self._previous: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def counts(self) -> Dict[str, Any]:
+        """A JSON-able injection report (workers persist this so the
+        driving process can assert faults actually fired)."""
+        return {"plan": self.plan.spec(), "operations": self.operations,
+                "injected": dict(sorted(self.injected.items())),
+                "total_injected": self.total_injected}
+
+    def _draw(self, applicable: Tuple[str, ...]) -> Optional[str]:
+        """Decide whether (and which) fault fires for this operation."""
+        self.operations += 1
+        enabled = [name for name in applicable
+                   if name in self.plan.faults]
+        if not enabled or self.plan.rate <= 0.0:
+            return None
+        if self.plan.limit is not None \
+                and self.total_injected >= self.plan.limit:
+            return None
+        if self._rng.random() >= self.plan.rate:
+            return None
+        fault = enabled[self._rng.randrange(len(enabled))]
+        self.injected[fault] = self.injected.get(fault, 0) + 1
+        return fault
+
+    @staticmethod
+    def _oserror(code: int, what: str, path: PathLike) -> OSError:
+        return OSError(code, f"injected {what}", str(path))
+
+    # ------------------------------------------------------------------
+    # Storage interface
+
+    def read_text(self, path: PathLike) -> str:
+        fault = self._draw(_READ_FAULTS)
+        if fault == "eio":
+            raise self._oserror(errno.EIO, "EIO on read", path)
+        if fault == "stale-read":
+            stale = self._previous.get(str(path))
+            if stale is not None:
+                return stale
+        text = self.inner.read_text(path)
+        return text
+
+    def write_atomic(self, path: PathLike, text: str) -> None:
+        fault = self._draw(_WRITE_FAULTS)
+        if fault == "enospc":
+            raise self._oserror(errno.ENOSPC, "ENOSPC on write", path)
+        self._remember_previous(path)
+        if fault == "torn-rename":
+            # Write the tmp debris a real torn rename leaves, then fail.
+            tmp = Path(path).with_name(f".{Path(path).name}.torn.tmp")
+            self.inner.write_atomic(tmp, text)
+            raise self._oserror(errno.EIO, "torn rename", path)
+        if fault == "short-write":
+            self.inner.write_atomic(path, text[:max(1, len(text) // 2)])
+            return  # silent: the caller believes the write landed
+        self.inner.write_atomic(path, text)
+
+    def create_exclusive(self, path: PathLike, text: str) -> None:
+        fault = self._draw(_CREATE_FAULTS)
+        if fault == "enospc":
+            raise self._oserror(errno.ENOSPC, "ENOSPC on create", path)
+        self.inner.create_exclusive(path, text)
+
+    def rename(self, source: PathLike, destination: PathLike) -> None:
+        fault = self._draw(_RENAME_FAULTS)
+        if fault == "eio":
+            raise self._oserror(errno.EIO, "EIO on rename", source)
+        self.inner.rename(source, destination)
+
+    def unlink(self, path: PathLike) -> None:
+        self.inner.unlink(path)
+
+    def listdir(self, path: PathLike) -> List[str]:
+        return self.inner.listdir(path)
+
+    def exists(self, path: PathLike) -> bool:
+        return self.inner.exists(path)
+
+    def mkdir(self, path: PathLike) -> None:
+        self.inner.mkdir(path)
+
+    # ------------------------------------------------------------------
+
+    def _remember_previous(self, path: PathLike) -> None:
+        """Record the current committed content as stale-read material."""
+        try:
+            self._previous[str(path)] = self.inner.read_text(path)
+        except OSError:
+            # No previous version: a stale read of a never-written path
+            # is indistinguishable from a missing file, so nothing to
+            # record.
+            return
+
+
+# ----------------------------------------------------------------------
+# the chaos-fleet scenario (CI `chaos-fleet` / `make chaos-fleet`)
+
+
+#: sidecar the CLI writes into the campaign directory after a faulted
+#: drain, so the driving process can prove injections actually fired
+INJECTION_SIDECAR_PREFIX = "fault-injections-"
+
+#: short lease so steals after a forced kill happen quickly
+FLEETCHECK_LEASE_SECONDS = 2.0
+
+#: poison-job retry ceiling for the scenario (small = fast quarantine)
+FLEETCHECK_MAX_ATTEMPTS = 3
+
+
+def fleet_probe(seed: int, cycles: int = 1_200,
+                poison_seed: int = -1) -> Dict[str, Any]:
+    """The fleetcheck's unit of work: a tiny deterministic simulation --
+    except for the poison seed, which hard-kills its worker process
+    (``os._exit``) the way a segfault or OOM kill would, every single
+    time.  That is the job the quarantine machinery must terminate."""
+    if seed == poison_seed:
+        os._exit(23)  # the poison: deterministic hard crash
+    from .selfcheck import sim_probe
+
+    return sim_probe(seed, cycles)
+
+
+def fleetcheck_manifest(num_jobs: int, cycles: int,
+                        poison_seed: int) -> Dict[str, Any]:
+    """The 24-job (by default) campaign with one poison job.
+
+    ``retries: 0`` pins runner-internal retry off so every fabric-level
+    attempt is exactly one execution -- the attempt ledger, not the
+    runner, owns the retry budget here.
+    """
+    return {
+        "name": "fabric-fleetcheck",
+        "fn": "repro.fabric.harden:fleet_probe",
+        "fixed": {"cycles": cycles, "poison_seed": poison_seed},
+        "grid": {"seed": list(range(1, num_jobs + 1))},
+        "policy": {"timeout": 120.0, "retries": 0},
+    }
+
+
+def total_injections(campaign_dir: PathLike) -> int:
+    """Sum the injection sidecars worker processes left behind."""
+    total = 0
+    directory = Path(campaign_dir)
+    if not directory.is_dir():
+        return 0
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith(INJECTION_SIDECAR_PREFIX)
+                and name.endswith(".json")):
+            continue
+        try:
+            counts = json.loads((directory / name
+                                 ).read_text(encoding="utf-8"))
+            total += int(counts.get("total_injected", 0))
+        except (OSError, ValueError):
+            continue
+    return total
+
+
+def run_fleetcheck(workdir: Union[str, Path], num_jobs: int = 24,
+                   cycles: int = 1_200, seed: int = 7,
+                   timeout: float = 600.0, echo=print) -> Dict[str, Any]:
+    """The supervised-fleet acceptance scenario.
+
+    Two drains of the same poisoned campaign:
+
+    * **baseline** -- one supervised pool, real storage;
+    * **chaos** -- two supervised pools, every child running behind a
+      seeded :class:`FaultyFS`, pool 0's first incarnation hard-killed
+      after its first claim (supervisor must restart it).
+
+    Both must terminate ``complete-degraded`` with exactly the poison
+    job in the dead-letter directory, and their database fingerprints
+    (full, and done-rows-only) must be identical -- storage faults,
+    kills, restarts, and steals may cost wall-clock, never bits.
+    """
+    from .db import ResultsDb
+    from .manifest import parse_manifest
+    from .queue import (DISPOSITION_DEGRADED, RESULT_DONE, REASON_EXHAUSTED,
+                        CampaignQueue)
+    from .supervise import run_supervisor
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    poison_seed = min(5, num_jobs)
+    manifest = parse_manifest(
+        fleetcheck_manifest(num_jobs, cycles, poison_seed))
+
+    echo(f"[fleetcheck] baseline: 1 supervised pool, {num_jobs} jobs, "
+         f"poison seed {poison_seed}")
+    baseline_queue = CampaignQueue.submit(workdir / "baseline", manifest)
+    baseline = run_supervisor(
+        baseline_queue, pools=1, jobs=1,
+        lease_seconds=FLEETCHECK_LEASE_SECONDS,
+        max_attempts=FLEETCHECK_MAX_ATTEMPTS, seed=seed,
+        timeout=timeout, echo=echo)
+
+    echo("[fleetcheck] chaos: 2 supervised pools behind FaultyFS, "
+         "pool 0 killed after its first claim")
+    chaos_queue = CampaignQueue.submit(workdir / "chaos", manifest)
+    plan = FaultPlan(seed=seed, rate=0.02)
+    chaos = run_supervisor(
+        chaos_queue, pools=2, jobs=1,
+        lease_seconds=FLEETCHECK_LEASE_SECONDS,
+        max_attempts=FLEETCHECK_MAX_ATTEMPTS, seed=seed + 1,
+        inject_faults=plan.spec(),
+        first_spawn_extra=("--die-after-claims", "1"),
+        timeout=timeout, echo=echo)
+
+    injections = total_injections(chaos_queue.directory)
+    poison_index = poison_seed - 1  # grid order: seeds 1..N
+    baseline_dead = baseline_queue.dead_letter_indices()
+    chaos_dead = chaos_queue.dead_letter_indices()
+    poison_record = baseline_queue.load_result(poison_index) or {}
+    poison_error = str(poison_record.get("error", ""))
+
+    with ResultsDb(workdir / "baseline.sqlite") as db:
+        db.merge_queue(baseline_queue)
+        baseline_print = db.fingerprint(baseline_queue.campaign_id)
+        baseline_done_print = db.fingerprint(
+            baseline_queue.campaign_id, only_status=RESULT_DONE)
+    with ResultsDb(workdir / "chaos.sqlite") as db:
+        db.merge_queue(chaos_queue)
+        chaos_print = db.fingerprint(chaos_queue.campaign_id)
+        chaos_done_print = db.fingerprint(
+            chaos_queue.campaign_id, only_status=RESULT_DONE)
+
+    report = {
+        "ok": (baseline["disposition"] == DISPOSITION_DEGRADED
+               and chaos["disposition"] == DISPOSITION_DEGRADED
+               and baseline_dead == [poison_index]
+               and chaos_dead == [poison_index]
+               and poison_error.startswith(
+                   f"quarantined[{REASON_EXHAUSTED}]")
+               and baseline_print == chaos_print
+               and baseline_done_print == chaos_done_print
+               and chaos["restarts"] >= 1
+               and injections >= 1),
+        "num_jobs": num_jobs,
+        "poison_index": poison_index,
+        "baseline_disposition": baseline["disposition"],
+        "chaos_disposition": chaos["disposition"],
+        "baseline_dead_letter": baseline_dead,
+        "chaos_dead_letter": chaos_dead,
+        "poison_error": poison_error,
+        "restarts": chaos["restarts"],
+        "injections": injections,
+        "baseline_fingerprint": baseline_print,
+        "chaos_fingerprint": chaos_print,
+        "fingerprints_match": baseline_print == chaos_print,
+        "done_fingerprints_match":
+            baseline_done_print == chaos_done_print,
+    }
+    echo(f"[fleetcheck] dispositions: baseline "
+         f"{baseline['disposition']}, chaos {chaos['disposition']}; "
+         f"dead-letter {chaos_dead}; {chaos['restarts']} restart(s); "
+         f"{injections} injection(s)")
+    echo(f"[fleetcheck] baseline {baseline_print[:16]}…")
+    echo(f"[fleetcheck] chaos    {chaos_print[:16]}…")
+    echo(f"[fleetcheck] {'OK' if report['ok'] else 'MISMATCH'}")
+    return report
+
+
+__all__ = ["FAULT_CLASSES", "FaultPlan", "FaultPlanError", "FaultyFS",
+           "fleet_probe", "fleetcheck_manifest", "run_fleetcheck",
+           "total_injections"]
+

@@ -68,6 +68,25 @@ def series_from_table(headers: Sequence[str],
     return {key: series[key] for key in sorted(series)}
 
 
+def count_holes(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                x: str, y: str) -> int:
+    """How many rows would :func:`series_from_table` skip for a missing
+    or non-numeric (x, y) pair.
+
+    Failed and quarantined jobs store NULL metrics, so this is the
+    figure's *explicit hole count*: a degraded campaign renders with the
+    holes announced rather than papered over.
+    """
+    for name in (x, y):
+        if name not in headers:
+            raise PlotError(f"no column {name!r}; available: "
+                            f"{', '.join(headers)}")
+    x_at = headers.index(x)
+    y_at = headers.index(y)
+    return sum(1 for row in rows
+               if not _numeric(row[x_at]) or not _numeric(row[y_at]))
+
+
 def _numeric(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 

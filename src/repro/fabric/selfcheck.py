@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from .db import ResultsDb, write_csv
+from .harden import FaultPlan, FaultyFS
 from .manifest import parse_manifest
 from .plot import render, series_from_table
 from .queue import RESULT_DONE, CampaignQueue
@@ -28,6 +29,10 @@ from .service import run_campaign_serial
 
 #: short lease so the surviving worker steals quickly
 SELFCHECK_LEASE_SECONDS = 2.0
+
+#: quiescent storage shim spec: every IO routed through FaultyFS with
+#: the injection rate at zero, proving the shim itself is bit-neutral
+QUIESCENT_PLAN = "seed=0,rate=0"
 
 
 def sim_probe(seed: int, cycles: int = 3_000) -> Dict[str, Any]:
@@ -73,7 +78,8 @@ def _spawn_worker(root: Path, campaign_id: str,
                   die_after_claims: int = 0) -> subprocess.Popen:
     command = [sys.executable, "-m", "repro.fabric", "work", str(root),
                "--campaign", campaign_id, "--jobs", "1",
-               "--lease", str(SELFCHECK_LEASE_SECONDS), "--poll", "0.1"]
+               "--lease", str(SELFCHECK_LEASE_SECONDS), "--poll", "0.1",
+               "--inject-faults", QUIESCENT_PLAN]
     if die_after_claims:
         command += ["--die-after-claims", str(die_after_claims)]
     return subprocess.Popen(command)
@@ -95,6 +101,8 @@ def run_selfcheck(workdir: Union[str, Path], num_jobs: int = 24,
     echo(f"[selfcheck] serial reference: {num_jobs} jobs x "
          f"{cycles} cycles")
     serial_queue = CampaignQueue.submit(workdir / "serial", manifest)
+    serial_queue.storage = FaultyFS(FaultPlan.parse(QUIESCENT_PLAN),
+                                    inner=serial_queue.storage)
     run_campaign_serial(serial_queue)
     with ResultsDb(workdir / "serial.sqlite") as serial_db:
         serial_db.merge_queue(serial_queue)
@@ -157,4 +165,4 @@ def run_selfcheck(workdir: Union[str, Path], num_jobs: int = 24,
 
 
 __all__ = ["run_selfcheck", "selfcheck_manifest", "sim_probe",
-           "SELFCHECK_LEASE_SECONDS"]
+           "SELFCHECK_LEASE_SECONDS", "QUIESCENT_PLAN"]

@@ -29,12 +29,13 @@ import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..runner import Runner, RunnerConfig, wallclock
-from ..runner.engine import JobOutcome
+from ..runner.engine import JobFailure, JobOutcome
 from ..runner.fingerprint import code_fingerprint
 from ..runner.jobspec import JobSpec
 from .db import encode_value, extract_metrics
-from .queue import (DEFAULT_LEASE_SECONDS, RESULT_DONE, RESULT_FAILED,
-                    CampaignQueue, ClaimedJob)
+from .queue import (DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS,
+                    REASON_DETERMINISTIC, REASON_EXHAUSTED, RESULT_DONE,
+                    RESULT_FAILED, CampaignQueue, ClaimedJob, Diagnosis)
 
 #: default seconds between idle polls while other pools hold live leases
 DEFAULT_POLL_SECONDS = 0.5
@@ -111,14 +112,23 @@ class _LeaseRenewer:
         self._renewed_at: Dict[str, float] = {}
 
     def __call__(self, job_ids: Sequence[str]) -> None:
-        due = wallclock.now() - self.lease_seconds / 3.0
+        now = wallclock.now()
+        due = now - self.lease_seconds / 3.0
         for job_id in job_ids:
             job = self.held.get(job_id)
             if job is None:
                 continue
-            if self._renewed_at.get(job_id, -1e18) <= due:
-                self.queue.renew(job, self.lease_seconds)
-                self._renewed_at[job_id] = wallclock.now()
+            last = self._renewed_at.get(job_id, -1e18)
+            if last > now:
+                # The clock went backwards (VM suspend, NTP step, a
+                # monkeypatched seam): a future-dated stamp would defer
+                # renewal until the clock catches up, while the
+                # epoch-based lease keeps aging toward a steal.  Treat
+                # skew as "renew now".
+                last = -1e18
+            if last <= due:
+                if self.queue.renew(job, self.lease_seconds):
+                    self._renewed_at[job_id] = now
 
 
 def work_campaign(queue: CampaignQueue,
@@ -129,9 +139,10 @@ def work_campaign(queue: CampaignQueue,
                   wait_for_drain: bool = True,
                   max_jobs: Optional[int] = None,
                   retries: int = 2,
+                  max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
                   progress: bool = False,
                   pool: bool = True,
-                  die_after_claims: Optional[int] = None) -> Dict[str, int]:
+                  die_after_claims: Optional[int] = None) -> Dict[str, Any]:
     """Drain ``queue`` until it is finished (or nothing is claimable).
 
     ``jobs`` is this pool's width: up to that many claims are held and
@@ -148,12 +159,23 @@ def work_campaign(queue: CampaignQueue,
     hard (``os._exit``) once that many claims are held, modelling a
     ``kill -9`` mid-campaign with leases dangling.
 
-    Returns counters: ``{"executed", "done", "failed", "stolen"}``.
+    Failure policy (the poison-job contract): a **deterministic**
+    failure (runner taxonomy -- StarvationError/ValueError/
+    AssertionError ancestry) is quarantined on its *first* failure;
+    anything else (timeout, crash) releases the claim for another
+    attempt until the durable ledger count reaches ``max_attempts``,
+    then quarantines.  Either way the campaign terminates: poison lands
+    in the dead-letter directory and everything else drains.
+
+    Returns counters ``{"executed", "done", "failed", "stolen",
+    "quarantined", "released"}`` plus the final campaign
+    ``"disposition"``.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     worker = worker or default_worker_id()
-    executed = done = failed = stolen = 0
+    executed = done = failed = stolen = quarantined = released = 0
+    idle_wedged = 0
 
     config = RunnerConfig(jobs=jobs, retries=retries, progress=progress,
                           checkpoint_dir=str(queue.checkpoints_dir))
@@ -166,7 +188,8 @@ def work_campaign(queue: CampaignQueue,
                 if max_jobs is not None \
                         and executed + len(claimed) >= max_jobs:
                     break
-                job = queue.claim_next(worker, lease_seconds)
+                job = queue.claim_next(worker, lease_seconds,
+                                       max_attempts=max_attempts)
                 if job is None:
                     break
                 claimed.append(job)
@@ -180,8 +203,20 @@ def work_campaign(queue: CampaignQueue,
             if not claimed:
                 if queue.is_drained() or not wait_for_drain:
                     break
+                snap = queue.snapshot()
+                if snap["running"] == 0 and snap["stale"] == 0:
+                    # Nothing claimable, nothing running, nothing to
+                    # steal, not drained: no worker anywhere can make
+                    # progress.  Require consecutive observations so a
+                    # claim mid-transition cannot fake a wedge.
+                    idle_wedged += 1
+                    if idle_wedged >= 3:
+                        break
+                else:
+                    idle_wedged = 0
                 wallclock.sleep(poll_seconds)
                 continue
+            idle_wedged = 0
 
             held = {job.spec.job_id: job for job in claimed}
             runner.config.heartbeat = _LeaseRenewer(queue, held,
@@ -191,16 +226,70 @@ def work_campaign(queue: CampaignQueue,
                                label=f"fabric:{queue.campaign_id[:8]}")
             for job in claimed:
                 outcome = sweep[job.spec.job_id]
-                record = result_record(job.index, job.spec, outcome,
-                                       worker, job.attempt)
-                queue.complete(job, record)
-                executed += 1
                 if outcome.ok:
+                    queue.complete(job, result_record(
+                        job.index, job.spec, outcome, worker, job.attempt))
+                    executed += 1
                     done += 1
+                    continue
+                disposition = _dispose_failure(queue, job, outcome,
+                                               max_attempts)
+                executed += 1
+                if disposition == "released":
+                    released += 1
                 else:
                     failed += 1
+                    if disposition == "quarantined":
+                        quarantined += 1
     return {"executed": executed, "done": done, "failed": failed,
-            "stolen": stolen}
+            "stolen": stolen, "quarantined": quarantined,
+            "released": released,
+            "disposition": queue.disposition()}
+
+
+def _dispose_failure(queue: CampaignQueue, job: ClaimedJob,
+                     outcome: JobOutcome,
+                     max_attempts: Optional[int]) -> str:
+    """Route one failed execution: quarantine or release-for-retry.
+
+    Returns ``"quarantined"`` or ``"released"``.  With no attempt
+    ceiling (``max_attempts=None``) non-deterministic failures are
+    recorded terminally, preserving the pre-quarantine behaviour for
+    callers that manage retries themselves.
+    """
+    failure = outcome.failure
+    assert failure is not None
+    if failure.deterministic:
+        queue.quarantine(job, _diagnosis(queue, job, failure,
+                                         REASON_DETERMINISTIC))
+        return "quarantined"
+    if max_attempts is None:
+        queue.complete(job, result_record(job.index, job.spec, outcome,
+                                          job.worker, job.attempt))
+        return "failed"
+    queue.record_failure_event(job, {
+        "kind": failure.kind, "error_type": failure.error_type,
+        "message": failure.message, "traceback": failure.traceback})
+    if job.attempt >= max_attempts:
+        queue.quarantine(job, _diagnosis(queue, job, failure,
+                                         REASON_EXHAUSTED))
+        return "quarantined"
+    queue.release(job.index)
+    return "released"
+
+
+def _diagnosis(queue: CampaignQueue, job: ClaimedJob,
+               failure: JobFailure, reason: str) -> Diagnosis:
+    """Dead-letter diagnosis from a live failure plus the job's ledger
+    history (deterministic fields only; see Diagnosis.error_text)."""
+    ledger = queue.load_ledger(job.index)
+    return Diagnosis(
+        job_index=job.index, job_id=job.spec.job_id,
+        spec_hash=job.spec.spec_hash(), reason=reason,
+        kind=failure.kind, error_type=failure.error_type,
+        message=failure.message, traceback=failure.traceback,
+        attempts=job.attempt,
+        history=tuple(ledger.get("history") or ()))
 
 
 def run_campaign_serial(queue: CampaignQueue,

@@ -1,0 +1,103 @@
+"""The fabric's single filesystem seam.
+
+Every byte the campaign queue reads or writes goes through a
+:class:`Storage` instance.  The production implementation
+(:class:`RealStorage`) is a thin veneer over ``os``/``pathlib`` that
+preserves the queue's two load-bearing primitives -- atomic replace for
+rewrites and ``O_CREAT | O_EXCL`` for claims -- and exists so the fault
+injector (:class:`repro.fabric.harden.FaultyFS`) can interpose
+*deterministically* on exactly the operations a sick filesystem would
+corrupt: torn renames, short writes, ``ENOSPC``, ``EIO``, stale reads.
+
+Keeping the seam explicit (an object threaded through
+:class:`~repro.fabric.queue.CampaignQueue`) rather than monkeypatching
+``os`` means the shim composes with subprocess worker pools: a worker
+started with ``--inject-faults`` builds its own seeded shim and the
+parent never has to reach across the process boundary.
+
+Nothing here touches simulation state; all of it is driver-side
+plumbing, so wall-clock and OS access are legitimate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Union
+
+PathLike = Union[str, Path]
+
+
+class Storage:
+    """Abstract filesystem operations the fabric queue relies on.
+
+    Implementations must preserve these contracts:
+
+    * :meth:`write_atomic` -- readers never observe a half-written file
+      at the destination path (modulo injected faults).
+    * :meth:`create_exclusive` -- exactly one concurrent caller wins;
+      losers get :class:`FileExistsError`.
+    * :meth:`rename` -- succeeds for exactly one concurrent caller on
+      the same source (POSIX ``rename`` semantics).
+    """
+
+    def read_text(self, path: PathLike) -> str:
+        raise NotImplementedError
+
+    def write_atomic(self, path: PathLike, text: str) -> None:
+        raise NotImplementedError
+
+    def create_exclusive(self, path: PathLike, text: str) -> None:
+        raise NotImplementedError
+
+    def rename(self, source: PathLike, destination: PathLike) -> None:
+        raise NotImplementedError
+
+    def unlink(self, path: PathLike) -> None:
+        raise NotImplementedError
+
+    def listdir(self, path: PathLike) -> List[str]:
+        raise NotImplementedError
+
+    def exists(self, path: PathLike) -> bool:
+        raise NotImplementedError
+
+    def mkdir(self, path: PathLike) -> None:
+        raise NotImplementedError
+
+
+class RealStorage(Storage):
+    """The production storage: plain POSIX filesystem operations."""
+
+    def read_text(self, path: PathLike) -> str:
+        return Path(path).read_text(encoding="utf-8")
+
+    def write_atomic(self, path: PathLike, text: str) -> None:
+        path = Path(path)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def create_exclusive(self, path: PathLike, text: str) -> None:
+        handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+
+    def rename(self, source: PathLike, destination: PathLike) -> None:
+        os.rename(source, destination)
+
+    def unlink(self, path: PathLike) -> None:
+        os.unlink(path)
+
+    def listdir(self, path: PathLike) -> List[str]:
+        return os.listdir(path)
+
+    def exists(self, path: PathLike) -> bool:
+        return os.path.exists(path)
+
+    def mkdir(self, path: PathLike) -> None:
+        os.makedirs(path, exist_ok=True)
+
+
+#: shared production instance (stateless, safe to share)
+REAL_STORAGE = RealStorage()

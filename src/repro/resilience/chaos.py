@@ -30,6 +30,27 @@ fault class         recovery path proven
                     a second pool steals the job after lease expiry and
                     the merged results database is bit-identical to a
                     serial drain
+``fabric-torn-``    result writes fail mid-rename (tmp debris, EIO);
+``rename``          verified writes retry until the commit lands,
+                    ``fabric doctor`` sweeps the debris, and the
+                    database is bit-identical to a clean drain
+``fabric-disk-``    ENOSPC raised on claim creates and result writes;
+``full``            the drain loop re-polls and the campaign still
+                    completes bit-identically once space "returns"
+``fabric-stale-``   reads served the previous version of a file (NFS
+``read``            attribute-cache lie); the read-back verify detects
+                    the stale echo and rewrites until the commit proves
+                    durable
+``fabric-poison``   a job that deterministically raises is quarantined
+                    to the dead-letter directory on its *first* failure
+                    (never retried), the campaign terminates
+                    ``complete-degraded``, serial and pooled drains are
+                    fingerprint-identical, and ``requeue`` makes the
+                    job runnable again
+``fabric-``         a supervised pool is hard-killed after its first
+``supervisor``      claim; the supervisor's liveness probe sees the
+                    exit, restarts it with backoff, and the campaign
+                    completes bit-identically to a serial drain
 ==================  =====================================================
 
 Every fault parameter (kill target, corrupted byte, bomb cycle) is drawn
@@ -40,6 +61,7 @@ and a CLI (``python -m repro.resilience --chaos``).
 
 from __future__ import annotations
 
+import json
 import os
 import random
 from dataclasses import dataclass
@@ -88,6 +110,24 @@ def chaos_exit_once(marker_path, value):
         with open(marker_path, "w", encoding="utf-8") as handle:
             handle.write("killed")
         os._exit(23)
+    return value
+
+
+def chaos_poison(value):
+    """Deterministic poison: negative values always raise ValueError
+    (the runner taxonomy's deterministic lineage), so retrying is
+    provably futile -- the quarantine contract under test."""
+    if value < 0:
+        raise ValueError(f"poison value {value}")
+    return value
+
+
+def chaos_slow_echo(value, delay=0.4):
+    """Echo after a short delay -- slow enough that a supervised fleet
+    is still mid-campaign when its first casualty is noticed."""
+    from ..runner import wallclock
+
+    wallclock.sleep(delay)
     return value
 
 
@@ -355,6 +395,277 @@ def fault_fabric_steal(rng: random.Random, workdir: str) -> ChaosOutcome:
         f"fingerprint match={serial_print == fabric_print}")
 
 
+def _merge_print(db_path: str, queue) -> str:
+    """Merge one queue into a fresh database; return its fingerprint."""
+    from ..fabric import ResultsDb
+
+    with ResultsDb(db_path) as db:
+        db.merge_queue(queue)
+        return db.fingerprint(queue.campaign_id)
+
+
+def fault_fabric_torn_rename(rng: random.Random,
+                             workdir: str) -> ChaosOutcome:
+    """Result renames tear mid-commit; verified writes must converge.
+
+    The first two write attempts fail like a crash between tmp-write
+    and rename (debris left, EIO raised); the campaign must still drain
+    bit-identically to a clean serial run, and ``fabric doctor`` must
+    sweep the debris.
+    """
+    from ..fabric import (CampaignQueue, FaultPlan, FaultyFS, diagnose,
+                          parse_manifest, run_campaign_serial)
+
+    manifest = parse_manifest({
+        "name": "chaos-torn",
+        "fn": "repro.resilience.chaos:chaos_echo",
+        "grid": {"value": [rng.randrange(1 << 16) for _ in range(4)]},
+    })
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    run_campaign_serial(serial_queue)
+    serial_print = _merge_print(os.path.join(workdir, "serial.sqlite"),
+                                serial_queue)
+
+    chaos_queue = CampaignQueue.submit(
+        os.path.join(workdir, "chaos"), manifest)
+    shim = FaultyFS(FaultPlan(seed=rng.randrange(1 << 16), rate=1.0,
+                              faults=("torn-rename",), limit=2),
+                    inner=chaos_queue.storage)
+    chaos_queue.storage = shim
+    counters = run_campaign_serial(chaos_queue, worker="chaos-torn")
+    chaos_print = _merge_print(os.path.join(workdir, "chaos.sqlite"),
+                               chaos_queue)
+
+    # Triage with real storage: the debris must be found and swept.
+    clean_queue = CampaignQueue(os.path.join(workdir, "chaos"),
+                                chaos_queue.campaign_id)
+    report = diagnose(clean_queue, repair=True)
+    debris = report["by_category"].get("debris", 0)
+    after = diagnose(clean_queue)
+    ok = (counters["failed"] == 0 and chaos_queue.is_drained()
+          and serial_print == chaos_print
+          and shim.injected.get("torn-rename", 0) == 2
+          and debris >= 1 and after["clean"])
+    return ChaosOutcome(
+        "fabric-torn-rename", ok,
+        f"{shim.injected.get('torn-rename', 0)} torn rename(s); "
+        f"fingerprint match={serial_print == chaos_print}; "
+        f"doctor swept {debris} debris file(s), clean={after['clean']}")
+
+
+def fault_fabric_disk_full(rng: random.Random,
+                           workdir: str) -> ChaosOutcome:
+    """ENOSPC on claims and result writes; the drain must ride it out.
+
+    The injection budget (``limit=4``) is strictly below the verified
+    write's retry budget, so the campaign provably terminates once the
+    disk "heals" -- the recovery claim is that no ENOSPC burst below
+    that budget can cost completeness or bits.
+    """
+    from ..fabric import (CampaignQueue, FaultPlan, FaultyFS,
+                          parse_manifest, run_campaign_serial,
+                          work_campaign)
+
+    manifest = parse_manifest({
+        "name": "chaos-enospc",
+        "fn": "repro.resilience.chaos:chaos_echo",
+        "grid": {"value": [rng.randrange(1 << 16) for _ in range(6)]},
+    })
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    run_campaign_serial(serial_queue)
+    serial_print = _merge_print(os.path.join(workdir, "serial.sqlite"),
+                                serial_queue)
+
+    chaos_queue = CampaignQueue.submit(
+        os.path.join(workdir, "chaos"), manifest)
+    shim = FaultyFS(FaultPlan(seed=rng.randrange(1 << 16), rate=0.6,
+                              faults=("enospc",), limit=4),
+                    inner=chaos_queue.storage)
+    chaos_queue.storage = shim
+    counters = work_campaign(chaos_queue, worker="chaos-enospc", jobs=1,
+                             pool=False, lease_seconds=3600.0,
+                             poll_seconds=0.05)
+    chaos_print = _merge_print(os.path.join(workdir, "chaos.sqlite"),
+                               chaos_queue)
+    ok = (counters["failed"] == 0 and chaos_queue.is_drained()
+          and serial_print == chaos_print
+          and shim.injected.get("enospc", 0) >= 1)
+    return ChaosOutcome(
+        "fabric-disk-full", ok,
+        f"{shim.injected.get('enospc', 0)} ENOSPC injection(s) over "
+        f"{shim.operations} op(s); drained={chaos_queue.is_drained()}; "
+        f"fingerprint match={serial_print == chaos_print}")
+
+
+def fault_fabric_stale_read(rng: random.Random,
+                            workdir: str) -> ChaosOutcome:
+    """Reads served yesterday's bytes; the read-back verify must catch it.
+
+    First a whole campaign drains behind a stale-read shim
+    (bit-identical to serial), then the lie is staged directly: a file
+    with a committed previous version is rewritten while the next read
+    returns the old content -- the verified write must detect the stale
+    echo and converge on the new bytes instead of declaring success.
+    """
+    from ..fabric import (CampaignQueue, FaultPlan, FaultyFS,
+                          parse_manifest, run_campaign_serial)
+
+    manifest = parse_manifest({
+        "name": "chaos-stale",
+        "fn": "repro.resilience.chaos:chaos_echo",
+        "grid": {"value": [rng.randrange(1 << 16) for _ in range(4)]},
+    })
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    run_campaign_serial(serial_queue)
+    serial_print = _merge_print(os.path.join(workdir, "serial.sqlite"),
+                                serial_queue)
+
+    chaos_queue = CampaignQueue.submit(
+        os.path.join(workdir, "chaos"), manifest)
+    drain_shim = FaultyFS(FaultPlan(seed=rng.randrange(1 << 16),
+                                    rate=0.5, faults=("stale-read",)),
+                          inner=chaos_queue.storage)
+    chaos_queue.storage = drain_shim
+    counters = run_campaign_serial(chaos_queue, worker="chaos-stale")
+    chaos_print = _merge_print(os.path.join(workdir, "chaos.sqlite"),
+                               chaos_queue)
+
+    # Stage the attribute-cache lie on a rewritten file.
+    probe_shim = FaultyFS(FaultPlan(seed=rng.randrange(1 << 16),
+                                    rate=1.0, faults=("stale-read",),
+                                    limit=1))
+    chaos_queue.storage = probe_shim
+    probe = chaos_queue.directory / "stale-probe.json"
+    probe_shim.write_atomic(probe, '{"version": 1}')
+    chaos_queue._write_verified(probe, {"version": 2}, "result")
+    committed = probe.read_text(encoding="utf-8")
+    converged = json.loads(committed) == {"version": 2}
+    ok = (counters["failed"] == 0 and chaos_queue.is_drained()
+          and serial_print == chaos_print
+          and probe_shim.injected.get("stale-read", 0) == 1
+          and converged)
+    return ChaosOutcome(
+        "fabric-stale-read", ok,
+        f"drain match={serial_print == chaos_print} "
+        f"({drain_shim.injected.get('stale-read', 0)} stale drain "
+        f"read(s)); staged lie detected and "
+        f"converged={converged}")
+
+
+def fault_fabric_poison(rng: random.Random, workdir: str) -> ChaosOutcome:
+    """A deterministic crasher must dead-letter on first failure.
+
+    One grid value is poison (always raises ValueError).  Serial and
+    pooled drains must both terminate ``complete-degraded`` with
+    exactly the poison job quarantined after a *single* attempt, with
+    identical database fingerprints; ``requeue`` must return the job to
+    the runnable pool, and re-draining must re-quarantine it without
+    disturbing the fingerprint.
+    """
+    from ..fabric import (CampaignQueue, ResultsDb, parse_manifest,
+                          run_campaign_serial, work_campaign)
+    from ..fabric.queue import DISPOSITION_DEGRADED, REASON_DETERMINISTIC
+
+    values = [rng.randrange(1, 1 << 16) for _ in range(4)]
+    poison_at = rng.randrange(len(values))
+    values[poison_at] = -values[poison_at]
+    manifest = parse_manifest({
+        "name": "chaos-poison",
+        "fn": "repro.resilience.chaos:chaos_poison",
+        "grid": {"value": values},
+    })
+
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    serial_counters = run_campaign_serial(serial_queue)
+    serial_print = _merge_print(os.path.join(workdir, "serial.sqlite"),
+                                serial_queue)
+
+    fabric_queue = CampaignQueue.submit(
+        os.path.join(workdir, "fabric"), manifest)
+    fabric_counters = work_campaign(fabric_queue, worker="chaos-poison",
+                                    jobs=2, pool=True,
+                                    wait_for_drain=True)
+    fabric_print = _merge_print(os.path.join(workdir, "fabric.sqlite"),
+                                fabric_queue)
+
+    poison_record = fabric_queue.load_result(poison_at) or {}
+    first_failure_only = poison_record.get("attempts") == 1
+
+    # The escape hatch: requeue, then re-drain re-quarantines.
+    diagnosis = fabric_queue.requeue(poison_at)
+    requeued_runnable = not fabric_queue.is_drained()
+    work_campaign(fabric_queue, worker="chaos-poison-2", jobs=1,
+                  pool=False, wait_for_drain=True)
+    with ResultsDb(os.path.join(workdir, "fabric2.sqlite")) as db:
+        db.merge_queue(fabric_queue)
+        requeued_print = db.fingerprint(fabric_queue.campaign_id)
+
+    ok = (serial_counters["disposition"] == DISPOSITION_DEGRADED
+          and fabric_counters["disposition"] == DISPOSITION_DEGRADED
+          and serial_queue.dead_letter_indices() == [poison_at]
+          and fabric_queue.dead_letter_indices() == [poison_at]
+          and first_failure_only
+          and diagnosis.reason == REASON_DETERMINISTIC
+          and requeued_runnable
+          and serial_print == fabric_print == requeued_print)
+    return ChaosOutcome(
+        "fabric-poison", ok,
+        f"poison at index {poison_at}; attempts="
+        f"{poison_record.get('attempts')}; dead-letter "
+        f"{fabric_queue.dead_letter_indices()}; requeue reason="
+        f"{diagnosis.reason}; fingerprints match="
+        f"{serial_print == fabric_print == requeued_print}")
+
+
+def fault_fabric_supervisor(rng: random.Random,
+                            workdir: str) -> ChaosOutcome:
+    """A supervised pool dies; the liveness probe must restart it.
+
+    Pool 0's first incarnation hard-exits after its first claim (the
+    ``kill -9`` footprint).  The supervisor must notice the exit,
+    restart the slot with backoff, and the fleet must finish the
+    campaign bit-identically to a serial drain.
+    """
+    from ..fabric import (CampaignQueue, parse_manifest,
+                          run_campaign_serial, run_supervisor)
+
+    manifest = parse_manifest({
+        "name": "chaos-fleet",
+        "fn": "repro.resilience.chaos:chaos_slow_echo",
+        "grid": {"value": [rng.randrange(1 << 16) for _ in range(6)]},
+    })
+    serial_queue = CampaignQueue.submit(
+        os.path.join(workdir, "serial"), manifest)
+    run_campaign_serial(serial_queue)
+    serial_print = _merge_print(os.path.join(workdir, "serial.sqlite"),
+                                serial_queue)
+
+    fleet_queue = CampaignQueue.submit(
+        os.path.join(workdir, "fleet"), manifest)
+    report = run_supervisor(
+        fleet_queue, pools=2, jobs=1, lease_seconds=2.0,
+        seed=rng.randrange(1 << 16), backoff_seconds=0.2,
+        first_spawn_extra=("--die-after-claims", "1"),
+        timeout=120.0, echo=lambda *_args: None)
+    fleet_print = _merge_print(os.path.join(workdir, "fleet.sqlite"),
+                               fleet_queue)
+    ok = (report["disposition"] == "complete"
+          and report["restarts"] >= 1
+          and 137 in report["exit_codes"]["0"]
+          and fleet_queue.is_drained()
+          and serial_print == fleet_print)
+    return ChaosOutcome(
+        "fabric-supervisor", ok,
+        f"disposition={report['disposition']}, "
+        f"restarts={report['restarts']}, pool-0 exits="
+        f"{report['exit_codes']['0']}; fingerprint "
+        f"match={serial_print == fleet_print}")
+
+
 FAULTS: List[Callable[[random.Random, str], ChaosOutcome]] = [
     fault_worker_kill,
     fault_cache_corruption,
@@ -363,6 +674,11 @@ FAULTS: List[Callable[[random.Random, str], ChaosOutcome]] = [
     fault_duplicate_events,
     fault_starvation,
     fault_fabric_steal,
+    fault_fabric_torn_rename,
+    fault_fabric_disk_full,
+    fault_fabric_stale_read,
+    fault_fabric_poison,
+    fault_fabric_supervisor,
 ]
 
 

@@ -27,8 +27,9 @@ a result.
 
 from .cache import CacheHit, CacheStats, ResultCache
 from .context import get_runner, set_runner, using_runner
-from .engine import (JobFailure, JobOutcome, Runner, RunnerConfig,
-                     RunnerError, SweepResult)
+from .engine import (DETERMINISTIC_LINEAGE, JobFailure, JobOutcome, Runner,
+                     RunnerConfig, RunnerError, SweepResult,
+                     is_deterministic_failure)
 from .fingerprint import code_fingerprint, fingerprint_tree
 from .jobspec import (JobSpec, SpecError, callable_path, content_hash,
                       resolve_callable)
@@ -37,6 +38,7 @@ from .wallclock import JobTimeoutError
 __all__ = [
     "CacheHit",
     "CacheStats",
+    "DETERMINISTIC_LINEAGE",
     "JobFailure",
     "JobOutcome",
     "JobSpec",
@@ -52,6 +54,7 @@ __all__ = [
     "content_hash",
     "fingerprint_tree",
     "get_runner",
+    "is_deterministic_failure",
     "resolve_callable",
     "set_runner",
     "using_runner",

@@ -56,11 +56,34 @@ _WAIT_TICK_SECONDS = 0.1
 #: ``describe_exception``'s ``lineage`` (MRO class names), so
 #: subclasses like ``SpecError`` (ValueError) and ``ContractViolation``
 #: (AssertionError) are covered by ancestry.
-_DETERMINISTIC_LINEAGE = frozenset(
+DETERMINISTIC_LINEAGE = frozenset(
     {"StarvationError", "ValueError", "AssertionError"})
 
 #: the same policy for in-process (inline) execution, as types
 _DETERMINISTIC_TYPES = (StarvationError, ValueError, AssertionError)
+
+
+def is_deterministic_failure(kind: str,
+                             info: Optional[dict] = None) -> bool:
+    """Will this exact failure recur on every retry of the spec?
+
+    The single source of truth for the deterministic-error taxonomy;
+    the fabric's poison-job quarantine reuses it so "never retry" means
+    the same thing inside one runner and across worker pools.  ``info``
+    is a :func:`~repro.runner.worker.describe_exception` document; its
+    ``lineage`` (MRO class names) is matched so subclasses like
+    ``SpecError`` (ValueError) and ``ContractViolation``
+    (AssertionError) are covered by ancestry.
+    """
+    if kind != "error":
+        return False  # timeouts and crashes are machine-state luck
+    info = info or {}
+    lineage = info.get("lineage")
+    if lineage is None:
+        # Pre-lineage producer (stale worker): fall back on the leaf
+        # class name alone.
+        lineage = [info.get("error_type", "")]
+    return not DETERMINISTIC_LINEAGE.isdisjoint(lineage)
 
 
 class RunnerError(RuntimeError):
@@ -77,6 +100,9 @@ class JobFailure:
     message: str
     traceback: str
     attempts: int
+    #: True when the taxonomy says every retry of the spec would fail
+    #: identically (the fabric quarantines such jobs on first failure)
+    deterministic: bool = False
 
     def summary(self) -> str:
         return (f"{self.job_id}: {self.kind} after {self.attempts} "
@@ -464,14 +490,7 @@ class Runner:
     @staticmethod
     def _deterministic_failure(kind: str, info: dict) -> bool:
         """Will this exact failure recur on every retry of the spec?"""
-        if kind != "error":
-            return False  # timeouts and crashes are machine-state luck
-        lineage = info.get("lineage")
-        if lineage is None:
-            # Pre-lineage producer (stale worker): fall back on the
-            # leaf class name alone.
-            lineage = [info.get("error_type", "")]
-        return not _DETERMINISTIC_LINEAGE.isdisjoint(lineage)
+        return is_deterministic_failure(kind, info)
 
     def _handle_retryable(self, item: _Pending, kind: str, info: dict,
                           outcomes: Dict[str, JobOutcome],
@@ -505,6 +524,7 @@ class Runner:
             error_type=info.get("error_type", "Error"),
             message=info.get("message", ""),
             traceback=info.get("traceback", ""),
-            attempts=attempts)
+            attempts=attempts,
+            deterministic=is_deterministic_failure(kind, info))
         outcome.attempts = attempts
         reporter.job_done(failed=True)

@@ -25,6 +25,13 @@ def fail_on_odd(x):
     return x
 
 
+def always_crash(x):
+    """Failure outside the deterministic lineage (RuntimeError), raised
+    every time -- the fabric cannot prove retrying is futile, so it must
+    burn the attempt ledger down to quarantine."""
+    raise RuntimeError(f"transient-looking failure for {x}")
+
+
 def tabular_result(name, seed=1, scale="smoke"):
     """A Result-shaped experiment payload (stored-figure round trip)."""
     from repro.experiments.common import Result

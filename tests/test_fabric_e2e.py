@@ -26,7 +26,8 @@ class TestWorkCampaign:
         assert run_campaign_serial(serial)["done"] == 5
         counters = work_campaign(pooled, jobs=2, pool=True)
         assert counters == {"executed": 5, "done": 5, "failed": 0,
-                            "stolen": 0}
+                            "stolen": 0, "quarantined": 0,
+                            "released": 0, "disposition": "complete"}
         with ResultsDb(tmp_path / "a.sqlite") as db:
             db.merge_queue(serial)
             left = db.fingerprint(serial.campaign_id)
@@ -101,7 +102,8 @@ class TestHeartbeat:
         counters = work_campaign(queue, jobs=1, pool=False,
                                  lease_seconds=0.05)
         assert counters == {"executed": 1, "done": 1, "failed": 0,
-                            "stolen": 0}
+                            "stolen": 0, "quarantined": 0,
+                            "released": 0, "disposition": "complete"}
 
 
 class TestGaBatches:
@@ -186,7 +188,7 @@ class TestCli:
         assert fabric_main(["work", str(tmp_path / "empty")]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_failed_jobs_exit_nonzero(self, tmp_path, capsys):
+    def test_failed_jobs_exit_degraded(self, tmp_path, capsys):
         manifest_path = tmp_path / "bad.json"
         manifest_path.write_text(json.dumps({
             "name": "bad", "fn": "tests._fabric_jobs:fail_on_odd",
@@ -194,8 +196,10 @@ class TestCli:
         root = str(tmp_path / "runs")
         assert fabric_main(["submit", str(manifest_path),
                             "--queue-root", root]) == 0
-        assert fabric_main(["work", root, "--inline", "--no-wait"]) == 1
-        capsys.readouterr()
+        # Disposition contract: terminal-with-failures exits 3.
+        assert fabric_main(["work", root, "--inline", "--no-wait"]) == 3
+        out = capsys.readouterr().out
+        assert "complete-degraded" in out
 
 
 @pytest.mark.slow

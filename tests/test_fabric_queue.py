@@ -7,6 +7,7 @@ import pytest
 from repro.fabric.manifest import parse_manifest
 from repro.fabric.queue import (CampaignQueue, QueueError, decode_spec,
                                 encode_spec, find_campaign, list_campaigns)
+from repro.fabric.storage import RealStorage
 from repro.runner.jobspec import JobSpec
 from tests._fabric_jobs import ToyEvaluator
 
@@ -129,6 +130,104 @@ class TestClaims:
             encoding="utf-8")
         other = queue.claim_next("thief")
         assert other.index != job.index
+
+
+class _HookedStorage(RealStorage):
+    """Deterministic race interposer: runs a callback exactly once,
+    immediately before the named storage operation -- simulating another
+    worker winning the wire inside this worker's race window."""
+
+    def __init__(self, operation, hook):
+        self._operation = operation
+        self._hook = hook
+
+    def _fire(self, name):
+        if self._hook is not None and name == self._operation:
+            hook, self._hook = self._hook, None
+            hook()
+
+    def rename(self, source, destination):
+        self._fire("rename")
+        super().rename(source, destination)
+
+    def create_exclusive(self, path, text):
+        self._fire("create_exclusive")
+        super().create_exclusive(path, text)
+
+
+class TestLeaseEdges:
+    def test_renew_after_release_does_not_resurrect(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        job = queue.claim_next("a", lease_seconds=3600)
+        queue.release(job.index)
+        # Renewing a released claim must refuse (a rewrite would wedge
+        # the job behind a ghost lease until it expired again).
+        assert queue.renew(job, lease_seconds=3600) is False
+        assert queue.claim_next("b").index == job.index
+
+    def test_renew_after_steal_is_refused(self, tmp_path):
+        queue = make_queue(tmp_path, values=(1,))
+        victim = queue.claim_next("victim", lease_seconds=0.0)
+        thief = queue.claim_next("thief", lease_seconds=3600)
+        assert thief.index == victim.index
+        # The zombie's renewal must not clobber the thief's live lease.
+        assert queue.renew(victim, lease_seconds=3600) is False
+        assert queue.claim_next("third") is None
+
+    def test_double_steal_converges_on_one_result(self, tmp_path):
+        # Worst-case steal overlap: thief B completes an entire steal
+        # inside thief A's window (between A's expiry check and A's
+        # rename).  The protocol tolerates the resulting double-run --
+        # deterministic jobs write byte-identical results and complete()
+        # atomically replaces -- so the campaign still converges on one
+        # terminal result with no claim left behind.
+        queue_b = make_queue(tmp_path, values=(1,))
+        victim = queue_b.claim_next("victim", lease_seconds=0.0)
+        stolen = {}
+
+        def thief_b_wins():
+            stolen["job"] = queue_b.claim_next("thief-b",
+                                               lease_seconds=3600)
+
+        queue_a = CampaignQueue(tmp_path / "root", queue_b.campaign_id,
+                                storage=_HookedStorage("rename",
+                                                       thief_b_wins))
+        job_a = queue_a.claim_next("thief-a", lease_seconds=3600)
+        job_b = stolen["job"]
+        assert job_b is not None and job_b.index == victim.index
+        assert job_b.attempt == 2
+        record = {"status": "done", "job_index": victim.index,
+                  "metrics": {"value": 2.0}}
+        queue_b.complete(job_b, dict(record))
+        if job_a is not None:  # A re-stole B's claim: the double-run
+            assert job_a.index == victim.index
+            assert job_a.attempt == 3
+            queue_a.complete(job_a, dict(record))
+        assert queue_b.is_drained()
+        assert queue_b.load_result(victim.index)["metrics"] \
+            == {"value": 2.0}
+        assert queue_b.claim_next("fourth") is None
+
+    def test_complete_beats_steal_at_the_wire(self, tmp_path):
+        # The original holder finishes between the thief's expiry check
+        # and the thief's claim creation: the thief must notice the
+        # fresh result, back off, and leave no claim behind.
+        queue_holder = make_queue(tmp_path, values=(1,))
+        victim = queue_holder.claim_next("holder", lease_seconds=0.0)
+
+        def holder_completes():
+            queue_holder.complete(victim, {
+                "status": "done", "job_index": victim.index,
+                "metrics": {"value": 2.0}})
+
+        queue_thief = CampaignQueue(
+            tmp_path / "root", queue_holder.campaign_id,
+            storage=_HookedStorage("create_exclusive", holder_completes))
+        assert queue_thief.claim_next("thief", lease_seconds=3600) is None
+        assert queue_holder.is_drained()
+        assert queue_holder.load_result(victim.index)["metrics"] \
+            == {"value": 2.0}
+        assert queue_holder.snapshot()["running"] == 0  # no claim debris
 
 
 class TestStatus:

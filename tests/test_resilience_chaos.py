@@ -21,13 +21,15 @@ CHAOS_SEED = 7
 class TestChaosSuite:
     def test_every_fault_class_recovers(self, tmp_path):
         outcomes = run_chaos_suite(CHAOS_SEED, str(tmp_path))
-        assert len(outcomes) == 7
+        assert len(outcomes) == 12
         failed = [outcome for outcome in outcomes if not outcome.passed]
         assert not failed, "\n".join(
             f"{outcome.fault}: {outcome.detail}" for outcome in failed)
         assert sorted(outcome.fault for outcome in outcomes) == [
             "cache-corrupt", "clock-skew", "duplicate-event", "event-bomb",
-            "fabric-steal", "starvation", "worker-kill"]
+            "fabric-disk-full", "fabric-poison", "fabric-stale-read",
+            "fabric-steal", "fabric-supervisor", "fabric-torn-rename",
+            "starvation", "worker-kill"]
 
     def test_outcomes_are_plain_data(self, tmp_path):
         outcome = ChaosOutcome("example", True, "detail")
